@@ -1,0 +1,16 @@
+"""Benchmark E9 — jamming-strategy ablation at equal spend (§2 discussion)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e9_adversary_ablation(benchmark):
+    result = run_and_report(benchmark, "E9")
+    rows = {row["strategy"]: row for row in result.rows}
+    # No non-reactive strategy defeats delivery.
+    for name, row in rows.items():
+        if name != "reactive":
+            assert row["delivery_fraction"] >= 0.9
+    # Oblivious jamming (random) buys less delay than targeted phase blocking.
+    assert rows["phase_blocker"]["slots"] >= rows["random"]["slots"]

@@ -1,0 +1,22 @@
+"""Benchmark E5 — ε-Broadcast vs naive, KSY-style, and balanced-backoff baselines (§1, §1.2)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e5_baseline_compare(benchmark):
+    result = run_and_report(benchmark, "E5")
+    summaries = result.summaries
+    # The naive strategy's node cost tracks T (exponent ≈ 1); ε-Broadcast's is
+    # much smaller; the prior art (KSY) protects only the sender.
+    assert summaries["naive_node_exponent"] > 0.85
+    assert summaries["ksy_node_exponent"] > 0.85
+    assert summaries["epsilon-broadcast_node_exponent"] < summaries["naive_node_exponent"] - 0.2
+    # At the largest adversary spend ε-Broadcast beats the naive strategy on
+    # both sides of the load: its receivers pay a fraction of naive's, and its
+    # sender pays no more than naive's sender.
+    largest_T = max(row["T_spent"] for row in result.rows)
+    at_largest = {row["protocol"]: row for row in result.rows if row["T_spent"] == largest_T}
+    assert at_largest["epsilon-broadcast"]["node_max_cost"] < 0.8 * at_largest["naive"]["node_max_cost"]
+    assert at_largest["epsilon-broadcast"]["alice_cost"] < at_largest["naive"]["alice_cost"]

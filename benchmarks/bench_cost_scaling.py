@@ -1,0 +1,19 @@
+"""Benchmark E1 — per-device cost versus adversary spend T (Theorem 1, k = 2).
+
+Regenerates the cost-versus-T sweep with the reference phase-blocking attacker
+and reports the fitted Alice/node cost exponents against the predicted
+``1/(k+1) = 1/3``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e1_cost_scaling(benchmark):
+    result = run_and_report(benchmark, "E1")
+    # Costs must respond strongly sublinearly to the adversary's spend.
+    node_exponent = result.summaries.get("node_exponent")
+    assert node_exponent is None or node_exponent < 0.9
+    # Delivery holds at every spend level in the sweep.
+    assert all(row["delivery_fraction"] >= 0.9 for row in result.rows)

@@ -1,0 +1,16 @@
+"""Benchmark E2 — delivery fraction under worst-case n-uniform attacks (Lemma 8, §2.3)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e2_delivery(benchmark):
+    result = run_and_report(benchmark, "E2")
+    rows = {row["scenario"]: row for row in result.rows}
+    # Without a stranding attack everyone is informed.
+    assert rows["no attack"]["delivery_fraction"] == 1.0
+    assert rows["blocker (full budget)"]["delivery_fraction"] >= 0.99
+    # Stranding anyone costs Carol a large fraction of her total budget.
+    split_rows = [row for name, row in rows.items() if name.startswith("split")]
+    assert all(row["carol_budget_fraction"] > 0.5 for row in split_rows)

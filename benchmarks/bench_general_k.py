@@ -1,0 +1,22 @@
+"""Benchmark E6 — the general-k protocol: exponent 1/(k+1) and Θ(k) overhead (§3)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e6_general_k(benchmark):
+    result = run_and_report(benchmark, "E6")
+    # Every (k, T) row still delivers the message.
+    assert all(row["delivery_fraction"] >= 0.9 for row in result.rows)
+    # Resource competitiveness in absolute form, per k: at the largest spend
+    # in its sweep a node pays less than Carol's total.  The per-k fitted
+    # exponents are reported in the summary but not gated on: the Figure-2
+    # constants (which scale with 1/ε') keep benchmark-scale sweeps largely in
+    # the saturated regime, so the k-dependence of the exponent only emerges
+    # as a trend at larger n (see EXPERIMENTS.md).
+    ks = sorted({row["k"] for row in result.rows})
+    for k in ks:
+        rows = sorted((r for r in result.rows if r["k"] == k), key=lambda r: r["T_spent"])
+        largest = rows[-1]
+        assert largest["node_max_cost"] < largest["T_spent"]

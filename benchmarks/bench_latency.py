@@ -1,0 +1,13 @@
+"""Benchmark E3 — latency O(n^{1+1/k}) under maximal jamming (Corollary 1)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e3_latency(benchmark):
+    result = run_and_report(benchmark, "E3")
+    exponent = result.summaries["latency_exponent"]
+    # The fitted latency exponent should straddle the predicted 1 + 1/k = 1.5.
+    assert 1.3 <= exponent <= 1.7
+    assert all(row["delivery_fraction"] >= 0.9 for row in result.rows)

@@ -1,0 +1,17 @@
+"""Benchmark E4 — load balance between Alice and the correct nodes (§1, Lemma 11)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e4_load_balance(benchmark):
+    result = run_and_report(benchmark, "E4")
+    epsilon_rows = [row for row in result.rows if row["protocol"] == "epsilon-broadcast"]
+    jammed = [row for row in epsilon_rows if row["scenario"] != "no jamming"]
+    # Under jamming Alice never pays more than a small polylog multiple of a
+    # node's cost (in practice she pays less: nodes shoulder the listening).
+    assert all(row["alice_over_max"] < 50 for row in jammed)
+    # The KSY-style baseline shows the imbalance the paper criticises.
+    ksy = [row for row in result.rows if row["protocol"] == "ksy-style baseline"]
+    assert all(row["alice_over_max"] < 0.2 for row in ksy)

@@ -1,0 +1,22 @@
+"""Benchmark E7 — reactive jamming and the decoy-traffic countermeasure (§4.1, Lemma 19)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e7_reactive(benchmark):
+    result = run_and_report(benchmark, "E7")
+    plain = [row for row in result.rows if row["scenario"].startswith("plain")]
+    decoy = [row for row in result.rows if row["scenario"].startswith("decoy + reactive")]
+    # Without decoys the reactive jammer suppresses delivery whenever her
+    # budget suffices (the f = 1/24 row; at benchmark scale the f = 1/48
+    # budget is too small to outlast Alice, which is itself on-message).
+    assert any(row["delivery_fraction"] < 0.5 for row in plain)
+    # With decoys delivery recovers and Carol pays a multiple of Alice's cost,
+    # whereas against the plain protocol she pays less than Alice does.
+    assert all(row["delivery_fraction"] >= 0.9 for row in decoy)
+    assert all(row["carol_over_alice"] > 1.0 for row in decoy)
+    assert max(row["carol_over_alice"] for row in plain) < min(
+        row["carol_over_alice"] for row in decoy
+    )

@@ -1,0 +1,14 @@
+"""Benchmark E8 — running with only a polynomial overestimate of n (§4.2)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e8_size_estimate(benchmark):
+    result = run_and_report(benchmark, "E8")
+    # Delivery is preserved under every estimate.
+    assert all(row["delivery_fraction"] >= 0.99 for row in result.rows)
+    # The measured latency inflation tracks the predicted O(lg ν) factor.
+    for row in result.rows:
+        assert row["latency_inflation"] <= 2.0 * row["predicted_factor"] + 0.5

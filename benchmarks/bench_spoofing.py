@@ -1,0 +1,17 @@
+"""Benchmark E10 — request-phase spoofing / termination-delay attacks (§2.2, Lemmas 4-7)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e10_spoofing(benchmark):
+    result = run_and_report(benchmark, "E10")
+    # Spoofing can delay termination but never prevents delivery.
+    assert all(row["delivery_fraction"] >= 0.99 for row in result.rows)
+    # Alice's cost grows only sublinearly in the spoofer's spend.
+    exponent = result.summaries.get("alice_exponent_vs_spoof_spend")
+    assert exponent is None or exponent < 0.8
+    # Delay (in rounds) grows with spend.
+    rounds = [row["alice_terminated_round"] for row in result.rows]
+    assert rounds == sorted(rounds)

@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment (E1 … E10) from the
+per-experiment index in DESIGN.md, prints the resulting table in the
+EXPERIMENTS.md format, and reports its wall-clock cost through
+pytest-benchmark.  Experiments are executed once per benchmark run (pedantic
+mode) because a single execution already aggregates repeated protocol trials
+internally.
+
+Environment knobs:
+
+* ``REPRO_BENCH_N`` — network size used by the benchmarks (default 256).
+* ``REPRO_BENCH_TRIALS`` — repeated protocol trials per sweep point (default 2).
+* ``REPRO_BENCH_FULL`` — set to ``1`` to disable the quick-mode sweep reduction.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSettings, render_result
+from repro.experiments.registry import run_experiment
+
+
+def bench_settings() -> ExperimentSettings:
+    """Benchmark-profile experiment settings (overridable via environment)."""
+
+    return ExperimentSettings(
+        n=int(os.environ.get("REPRO_BENCH_N", "256")),
+        trials=int(os.environ.get("REPRO_BENCH_TRIALS", "2")),
+        seed=2012,
+        quick=os.environ.get("REPRO_BENCH_FULL", "0") != "1",
+        engine="fast",
+    )
+
+
+def run_and_report(benchmark, experiment_id: str):
+    """Run one registered experiment under pytest-benchmark and print its table."""
+
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, settings), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["n"] = settings.n
+    for key, value in result.summaries.items():
+        benchmark.extra_info[key] = value
+    return result
+
+
+@pytest.fixture
+def settings() -> ExperimentSettings:
+    return bench_settings()

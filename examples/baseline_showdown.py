@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""ε-Broadcast versus the naive strategy and the prior art (King–Saia–Young).
+
+Reproduces the comparison behind the paper's "is it possible to do better?"
+question: run four protocols against the same budget-capped phase blocker and
+watch how each side's bill scales as the jammer spends more.
+
+Usage::
+
+    python examples/baseline_showdown.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationConfig, run_broadcast
+from repro.adversary import PhaseBlockingAdversary
+from repro.baselines import BalancedBackoffBroadcast, KSYStyleBroadcast, NaiveBroadcast
+from repro.experiments import render_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    config = SimulationConfig(n=n, f=1.0, k=2, seed=3)
+    budget = config.adversary_total_budget
+
+    rows = []
+    for fraction in (0.1, 0.5, 0.9):
+        cap = fraction * budget
+        for name, runner in (
+            ("epsilon-broadcast", None),
+            ("naive", NaiveBroadcast),
+            ("ksy-style", KSYStyleBroadcast),
+            ("balanced-backoff", BalancedBackoffBroadcast),
+        ):
+            adversary = PhaseBlockingAdversary(max_total_spend=cap)
+            if runner is None:
+                outcome = run_broadcast(n=n, seed=3, adversary=adversary)
+            else:
+                outcome = runner(SimulationConfig(n=n, f=1.0, k=2, seed=3), adversary=adversary).run()
+            rows.append(
+                {
+                    "carol spend T": outcome.adversary_spend,
+                    "protocol": name,
+                    "alice cost": outcome.alice_cost,
+                    "node max cost": outcome.max_node_cost,
+                    "delivery": outcome.delivery_fraction,
+                }
+            )
+
+    print(f"network: {config.describe()}")
+    print()
+    print(render_table(["carol spend T", "protocol", "alice cost", "node max cost", "delivery"], rows))
+    print()
+    print("Expected shape (paper §1, §1.2): the naive strategy's costs track T one-for-one; the")
+    print("KSY-style protocol protects the sender (≈T^0.62) but not the receivers (≈T); ε-Broadcast")
+    print("keeps both near T^(1/3) and is the only load-balanced column.")
+
+
+if __name__ == "__main__":
+    main()

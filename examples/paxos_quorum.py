@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Almost-everywhere delivery as a building block: reaching a Paxos majority quorum.
+
+The paper motivates (1-ε)-delivery by pointing at quorum-based protocols:
+"Alice and others may be attempting to implement Paxos, which relies on the
+notion of a majority quorum; therefore, m must reach a majority of the nodes."
+This example plays that scenario: Alice broadcasts a proposal while Carol both
+jams and — using her n-uniform power — tries to strand a chosen set of
+acceptors, and we check whether a majority quorum of informed acceptors
+survives every attack level.
+
+Usage::
+
+    python examples/paxos_quorum.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationConfig, run_broadcast
+from repro.adversary import NUniformSplitAdversary, PhaseBlockingAdversary
+from repro.experiments import render_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    config = SimulationConfig(n=n, f=1.0, k=2, seed=23)
+    quorum = n // 2 + 1
+
+    scenarios = [
+        ("no attack", "none", None),
+        ("blanket blocking, full budget", PhaseBlockingAdversary(), None),
+        ("strand 5% of acceptors", NUniformSplitAdversary(target_uninformed=n // 20), None),
+        ("strand 20% of acceptors", NUniformSplitAdversary(target_uninformed=n // 5), None),
+    ]
+
+    rows = []
+    for label, adversary, _ in scenarios:
+        outcome = run_broadcast(n=n, seed=23, adversary=adversary)
+        informed = outcome.delivery.informed
+        rows.append(
+            {
+                "attack": label,
+                "informed acceptors": informed,
+                "quorum (n//2+1)": quorum,
+                "quorum reached": informed >= quorum,
+                "carol spend": outcome.adversary_spend,
+                "carol budget share": (
+                    outcome.adversary_spend / config.adversary_total_budget
+                ),
+            }
+        )
+
+    print(f"acceptors: {n}, majority quorum: {quorum}")
+    print()
+    print(
+        render_table(
+            [
+                "attack",
+                "informed acceptors",
+                "quorum (n//2+1)",
+                "quorum reached",
+                "carol spend",
+                "carol budget share",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Stranding acceptors is possible only for a bounded fraction of the network and only by")
+    print("burning essentially the whole adversarial budget — so the proposal always reaches a")
+    print("majority quorum, which is what a Paxos-style protocol needs from its broadcast layer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: one ε-Broadcast run with and without a jamming adversary.
+
+Usage::
+
+    python examples/quickstart.py [n]
+
+The script runs the protocol of Gilbert & Young (PODC 2012) on a simulated
+single-hop sensor network, first with no attacker and then against a
+phase-blocking jammer spending a quarter of Carol's aggregate budget, and
+prints the delivery/cost summary of each run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationConfig, run_broadcast
+from repro.adversary import PhaseBlockingAdversary
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    config = SimulationConfig(n=n, f=1.0, k=2, epsilon=0.1, seed=42)
+
+    print(f"network: {config.describe()}")
+    print()
+
+    print("--- no adversary ---")
+    outcome = run_broadcast(n=n, adversary="none", seed=42)
+    print(outcome.summary())
+    print()
+
+    print("--- phase-blocking jammer, T = budget/4 ---")
+    jammer = PhaseBlockingAdversary(max_total_spend=config.adversary_total_budget / 4)
+    outcome = run_broadcast(n=n, adversary=jammer, seed=43)
+    print(outcome.summary())
+    print()
+    print(
+        "Carol spent {:.0f} units to delay the broadcast; each correct node spent only {:.0f} "
+        "on average ({:.1%} of her spend), which is the resource-competitive asymmetry the paper is about.".format(
+            outcome.adversary_spend,
+            outcome.mean_node_cost,
+            outcome.mean_node_cost / outcome.adversary_spend if outcome.adversary_spend else 0.0,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

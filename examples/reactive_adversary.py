@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Reactive jamming and the §4.1 countermeasure: make your own noise.
+
+A reactive jammer senses the channel within the slot (RSSI / CCA) and only
+jams when something is on the air.  Against the plain protocol that kills the
+broadcast at almost no cost to the attacker; with the decoy-traffic variant
+the attacker can no longer tell Alice's message apart from cover traffic and
+has to pay for a constant fraction of all busy slots.
+
+Usage::
+
+    python examples/reactive_adversary.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_broadcast
+from repro.adversary import ReactiveJammer
+from repro.experiments import render_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    f = 1.0 / 24.0  # the paper's threshold for tolerating a reactive Carol
+
+    scenarios = [
+        ("plain protocol, reactive jammer", "epsilon-broadcast", True),
+        ("decoy variant, reactive jammer", "decoy", True),
+        ("decoy variant, no jammer", "decoy", False),
+    ]
+
+    rows = []
+    for label, variant, attack in scenarios:
+        outcome = run_broadcast(
+            n=n,
+            f=f,
+            seed=11,
+            variant=variant,
+            adversary=ReactiveJammer(phase_budget_fraction=0.5) if attack else "none",
+        )
+        rows.append(
+            {
+                "scenario": label,
+                "delivery": outcome.delivery_fraction,
+                "carol spend": outcome.adversary_spend,
+                "alice cost": outcome.alice_cost,
+                "node mean cost": outcome.mean_node_cost,
+                "carol / alice": (
+                    outcome.adversary_spend / outcome.alice_cost if outcome.alice_cost else 0.0
+                ),
+            }
+        )
+
+    print(f"n = {n}, f = 1/24 (the reactive-tolerance threshold of §4.1)")
+    print()
+    print(
+        render_table(
+            ["scenario", "delivery", "carol spend", "alice cost", "node mean cost", "carol / alice"],
+            rows,
+        )
+    )
+    print()
+    print("Without decoys the reactive jammer suppresses delivery while spending about as little as")
+    print("Alice herself; with decoys she must jam cover traffic too, her bill multiplies, and the")
+    print("broadcast goes through — Lemma 19's 'make your own noise' effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments whose setuptools/pip
+combination lacks PEP 660 editable-install support (it falls back to the
+legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

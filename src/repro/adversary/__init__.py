@@ -1,0 +1,38 @@
+"""Adversary ("Carol") strategies.
+
+Every strategy implements the
+:class:`~repro.simulation.phaseplan.AdversaryStrategy` protocol by subclassing
+:class:`~repro.adversary.base.Adversary`.  The catalogue covers the attacks the
+paper reasons about — phase blocking, n-uniform splitting, request-phase
+spoofing, reactive jamming — plus the oblivious comparators (random, bursty,
+continuous) used by the ablation experiments.
+"""
+
+from .base import Adversary
+from .budget import GeometricBudgetAllocator
+from .bursty import BurstyJammer
+from .composite import CompositeAdversary, RoundSwitchingAdversary
+from .continuous import ContinuousJammer
+from .none import NullAdversary
+from .nuniform import NUniformSplitAdversary
+from .phase_blocker import PhaseBlockingAdversary
+from .random_jammer import RandomJammer
+from .reactive import ReactiveJammer
+from .request_spoofer import RequestSpoofingAdversary
+from .sybil import SpoofingAdversary
+
+__all__ = [
+    "Adversary",
+    "BurstyJammer",
+    "CompositeAdversary",
+    "ContinuousJammer",
+    "GeometricBudgetAllocator",
+    "NullAdversary",
+    "NUniformSplitAdversary",
+    "PhaseBlockingAdversary",
+    "RandomJammer",
+    "ReactiveJammer",
+    "RequestSpoofingAdversary",
+    "RoundSwitchingAdversary",
+    "SpoofingAdversary",
+]

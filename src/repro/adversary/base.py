@@ -1,0 +1,140 @@
+"""Adversary strategy base class.
+
+Every concrete adversary ("Carol") derives from :class:`Adversary`.  The
+orchestrator shows the strategy a
+:class:`~repro.simulation.phaseplan.PhaseContext` before each phase — the full
+history plus everything an adaptive adversary is allowed to know — and the
+strategy answers with a :class:`~repro.simulation.phaseplan.JamPlan`.  After
+the phase executes, the strategy is shown the
+:class:`~repro.simulation.phaseplan.PhaseResult` so adaptive strategies can
+update their internal state.
+
+Budget enforcement is *not* the strategy's job: the engines cap every plan by
+Carol's aggregate ledger.  Strategies may nevertheless budget themselves (for
+example to realise "spend exactly T" experiment scenarios) via the
+``max_total_spend`` knob handled here in the base class.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional, Tuple
+
+from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseResult
+
+__all__ = ["Adversary"]
+
+
+class Adversary(abc.ABC):
+    """Base class for all jamming / spoofing strategies.
+
+    Parameters
+    ----------
+    max_total_spend:
+        Optional self-imposed cap on Carol's total expenditure.  Useful for
+        experiments that sweep the adversary's spend ``T`` independently of
+        her full budget.  ``None`` means "spend up to the ledger budget".
+    """
+
+    name: str = "adversary"
+
+    def __init__(self, max_total_spend: Optional[float] = None) -> None:
+        if max_total_spend is not None and max_total_spend < 0:
+            raise ValueError(f"max_total_spend must be non-negative, got {max_total_spend}")
+        self.max_total_spend = max_total_spend
+        self._spent = 0.0
+        self._results: List[PhaseResult] = []
+
+    # ------------------------------------------------------------------ #
+    # Template method                                                     #
+    # ------------------------------------------------------------------ #
+
+    def plan_phase(self, context: PhaseContext) -> JamPlan:
+        """Return the attack plan for the upcoming phase.
+
+        Applies the self-imposed spend cap around the concrete strategy's
+        :meth:`_plan`.
+        """
+
+        allowance = self.remaining_allowance(context)
+        if allowance <= 0:
+            return JamPlan.idle()
+        plan = self._plan(context, allowance)
+        return self._cap_plan(plan, allowance)
+
+    def observe_result(self, context: PhaseContext, result: PhaseResult) -> None:
+        """Record the phase outcome; adaptive subclasses may override."""
+
+        self._spent += result.adversary_spend
+        self._results.append(result)
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses                                                #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        """Concrete strategy: decide the attack given a spend allowance."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spent(self) -> float:
+        """Total energy this strategy has spent so far."""
+
+        return self._spent
+
+    @property
+    def results(self) -> Tuple[PhaseResult, ...]:
+        """All observed phase results, in execution order."""
+
+        return tuple(self._results)
+
+    def remaining_allowance(self, context: PhaseContext) -> float:
+        """How much the strategy may still spend, combining cap and ledger."""
+
+        ledger_remaining = context.adversary_remaining_budget
+        if self.max_total_spend is None:
+            return ledger_remaining
+        return min(ledger_remaining, self.max_total_spend - self._spent)
+
+    @staticmethod
+    def _cap_plan(plan: JamPlan, allowance: float) -> JamPlan:
+        """Clip a plan so its worst-case spend does not exceed ``allowance``."""
+
+        if allowance <= 0:
+            return JamPlan.idle()
+        budget = int(math.floor(allowance))
+
+        num_jam = min(plan.num_jam_slots, budget)
+        slot_indices = plan.slot_indices
+        if slot_indices is not None and len(slot_indices) > budget:
+            slot_indices = tuple(slot_indices[:budget])
+            jam_committed = len(slot_indices)
+        elif slot_indices is not None:
+            jam_committed = len(slot_indices)
+        else:
+            jam_committed = num_jam
+
+        remaining_for_spoofs = max(budget - jam_committed, 0)
+        spoof_payload = min(plan.spoof_payload_slots, remaining_for_spoofs)
+        remaining_for_spoofs -= spoof_payload
+        spoof_nack = min(plan.spoof_nack_slots, remaining_for_spoofs)
+
+        # Rate-based plans cannot be capped exactly in advance; they are
+        # bounded by the ledger inside the engines.  We pass them through.
+        return JamPlan(
+            num_jam_slots=num_jam,
+            jam_rate=plan.jam_rate,
+            slot_indices=slot_indices,
+            targeting=plan.targeting,
+            reactive=plan.reactive,
+            spoof_nack_slots=spoof_nack,
+            spoof_payload_slots=spoof_payload,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(spent={self._spent:g}, cap={self.max_total_spend})"

@@ -1,0 +1,71 @@
+"""Budget-splitting helpers for adversary strategies.
+
+Several strategies want to spread a total spend allowance across the rounds of
+a protocol execution.  Because round lengths grow geometrically, the natural
+split is also geometric: commit a fixed fraction of the *remaining* allowance
+to each attacked phase, so early phases are cheap and the strategy can always
+afford to contest the round that matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..simulation.errors import ConfigurationError
+
+__all__ = ["GeometricBudgetAllocator"]
+
+
+@dataclass
+class GeometricBudgetAllocator:
+    """Split an allowance across rounds, geometrically weighted toward later rounds.
+
+    Parameters
+    ----------
+    total:
+        The total spend allowance to distribute.
+    ratio:
+        Geometric growth ratio between consecutive rounds' allotments; with
+        ε-Broadcast's round lengths the natural ratio is ``2^{1 + 1/k}``.
+    first_round:
+        The first round that may receive an allotment.
+    last_round:
+        The last round that may receive an allotment.
+    """
+
+    total: float
+    ratio: float
+    first_round: int
+    last_round: int
+    _granted: Dict[int, float] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ConfigurationError(f"total must be non-negative, got {self.total}")
+        if self.ratio <= 0:
+            raise ConfigurationError(f"ratio must be positive, got {self.ratio}")
+        if self.last_round < self.first_round:
+            raise ConfigurationError(
+                f"last_round ({self.last_round}) must be >= first_round ({self.first_round})"
+            )
+
+    def allotment(self, round_index: int) -> float:
+        """The energy allotted to ``round_index`` (0 outside the window)."""
+
+        if round_index < self.first_round or round_index > self.last_round:
+            return 0.0
+        if round_index in self._granted:
+            return self._granted[round_index]
+        num_rounds = self.last_round - self.first_round + 1
+        weights = [self.ratio ** j for j in range(num_rounds)]
+        weight_sum = math.fsum(weights)
+        share = self.total * weights[round_index - self.first_round] / weight_sum
+        self._granted[round_index] = share
+        return share
+
+    def total_granted(self) -> float:
+        """Sum of all allotments handed out so far."""
+
+        return math.fsum(self._granted.values())

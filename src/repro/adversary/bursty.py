@@ -1,0 +1,78 @@
+"""Bursty jamming.
+
+A (burst-length, duty-cycle) jammer in the spirit of the adversaries studied
+by Awerbuch et al. (PODC 2008) and Richa et al. (DISC 2010): Carol alternates
+between jamming bursts and quiet periods.  Burst boundaries are placed
+deterministically within each phase, which makes the strategy easy to reason
+about in tests while still exercising the explicit-slot-schedule path of the
+engines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..simulation.channel import JamTargeting
+from ..simulation.errors import ConfigurationError
+from ..simulation.phaseplan import JamPlan, PhaseContext
+from .base import Adversary
+
+__all__ = ["BurstyJammer"]
+
+
+class BurstyJammer(Adversary):
+    """Jam in periodic bursts.
+
+    Parameters
+    ----------
+    burst_length:
+        Number of consecutive slots jammed in each burst.
+    period:
+        Distance (in slots) between the starts of consecutive bursts; must be
+        at least ``burst_length``.
+    offset:
+        Slot offset of the first burst within each phase.
+    max_total_spend:
+        Optional cap on total expenditure.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_length: int,
+        period: int,
+        offset: int = 0,
+        max_total_spend: Optional[float] = None,
+        targeting: Optional[JamTargeting] = None,
+    ) -> None:
+        super().__init__(max_total_spend=max_total_spend)
+        if burst_length <= 0:
+            raise ConfigurationError(f"burst_length must be positive, got {burst_length}")
+        if period < burst_length:
+            raise ConfigurationError(
+                f"period ({period}) must be at least burst_length ({burst_length})"
+            )
+        if offset < 0:
+            raise ConfigurationError(f"offset must be non-negative, got {offset}")
+        self.burst_length = burst_length
+        self.period = period
+        self.offset = offset
+        self.targeting = targeting if targeting is not None else JamTargeting.everyone()
+
+    def burst_slots(self, num_slots: int) -> Tuple[int, ...]:
+        """The explicit slot offsets jammed within a phase of ``num_slots``."""
+
+        slots = []
+        start = self.offset
+        while start < num_slots:
+            for slot in range(start, min(start + self.burst_length, num_slots)):
+                slots.append(slot)
+            start += self.period
+        return tuple(slots)
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        return JamPlan(
+            slot_indices=self.burst_slots(context.plan.num_slots),
+            targeting=self.targeting,
+        )

@@ -1,0 +1,97 @@
+"""Combining adversary strategies.
+
+Real attacks mix tactics: block the inform phases while budget is plentiful,
+then switch to cheap request-phase spoofing to squeeze out extra delay.
+:class:`CompositeAdversary` dispatches each phase to the first sub-strategy
+that produces a non-idle plan, and :class:`RoundSwitchingAdversary` switches
+strategy at a given round boundary.  Both keep a single shared spend cap so
+experiment budgets remain meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..simulation.errors import ConfigurationError
+from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseResult
+from .base import Adversary
+
+__all__ = ["CompositeAdversary", "RoundSwitchingAdversary"]
+
+
+class CompositeAdversary(Adversary):
+    """Try sub-strategies in priority order; use the first non-idle plan."""
+
+    name = "composite"
+
+    def __init__(
+        self,
+        strategies: Sequence[Adversary],
+        max_total_spend: Optional[float] = None,
+    ) -> None:
+        super().__init__(max_total_spend=max_total_spend)
+        if not strategies:
+            raise ConfigurationError("CompositeAdversary requires at least one sub-strategy")
+        self.strategies = list(strategies)
+        self._last_chosen: Optional[Adversary] = None
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        for strategy in self.strategies:
+            plan = strategy.plan_phase(
+                _with_allowance(context, min(allowance, strategy.remaining_allowance(context)))
+            )
+            if plan.attacks_anything:
+                self._last_chosen = strategy
+                return plan
+        self._last_chosen = None
+        return JamPlan.idle()
+
+    def observe_result(self, context: PhaseContext, result: PhaseResult) -> None:
+        super().observe_result(context, result)
+        if self._last_chosen is not None:
+            self._last_chosen.observe_result(context, result)
+
+
+class RoundSwitchingAdversary(Adversary):
+    """Use one strategy before ``switch_round`` and another from then on."""
+
+    name = "round_switching"
+
+    def __init__(
+        self,
+        early: Adversary,
+        late: Adversary,
+        switch_round: int,
+        max_total_spend: Optional[float] = None,
+    ) -> None:
+        super().__init__(max_total_spend=max_total_spend)
+        if switch_round < 0:
+            raise ConfigurationError(f"switch_round must be non-negative, got {switch_round}")
+        self.early = early
+        self.late = late
+        self.switch_round = switch_round
+
+    def _active(self, context: PhaseContext) -> Adversary:
+        return self.early if context.plan.round_index < self.switch_round else self.late
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        active = self._active(context)
+        return active.plan_phase(
+            _with_allowance(context, min(allowance, active.remaining_allowance(context)))
+        )
+
+    def observe_result(self, context: PhaseContext, result: PhaseResult) -> None:
+        super().observe_result(context, result)
+        self._active(context).observe_result(context, result)
+
+
+def _with_allowance(context: PhaseContext, allowance: float) -> PhaseContext:
+    """Return a copy of ``context`` with the remaining budget replaced."""
+
+    return PhaseContext(
+        plan=context.plan,
+        roles=context.roles,
+        config=context.config,
+        history=context.history,
+        adversary_remaining_budget=allowance,
+    )

@@ -1,0 +1,22 @@
+"""The null adversary: Carol stays home.
+
+Used as the baseline scenario (Lemma 9: with no blocked phases, Alice pays
+``O(log^{3a+1} n)`` and each node ``O(log^{(3/2)b} n)``) and as a sanity check
+for every protocol implementation.
+"""
+
+from __future__ import annotations
+
+from ..simulation.phaseplan import JamPlan, PhaseContext
+from .base import Adversary
+
+__all__ = ["NullAdversary"]
+
+
+class NullAdversary(Adversary):
+    """An adversary that never jams, spoofs, or spends anything."""
+
+    name = "none"
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        return JamPlan.idle()

@@ -1,0 +1,67 @@
+"""Spoofing (Sybil-style) attacks.
+
+Carol controls ``f·n`` Byzantine devices whose identities are
+indistinguishable from correct nodes: she can impersonate receivers and ask
+Alice to keep retransmitting, or inject frames that *claim* to be ``m``.
+Because Alice's payload is authenticated, forged copies of ``m`` are detected
+and discarded — but they still occupy the channel and collide with legitimate
+traffic, so the attack degrades into (expensive) jamming.  This adversary
+exists to exercise that code path and to demonstrate experimentally that
+authentication confines spoofing to a nuisance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simulation.channel import JamTargeting
+from ..simulation.errors import ConfigurationError
+from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
+from .base import Adversary
+
+__all__ = ["SpoofingAdversary"]
+
+
+class SpoofingAdversary(Adversary):
+    """Inject forged payloads and nacks instead of raw noise.
+
+    Parameters
+    ----------
+    payload_fraction:
+        Fraction of each inform/propagation phase's slots in which a Byzantine
+        device transmits a forged copy of ``m``.
+    nack_fraction:
+        Fraction of each request phase's slots in which a Byzantine device
+        transmits a spoofed nack.
+    max_total_spend:
+        Optional cap on total expenditure.
+    """
+
+    name = "spoofing"
+
+    def __init__(
+        self,
+        payload_fraction: float = 0.5,
+        nack_fraction: float = 0.5,
+        max_total_spend: Optional[float] = None,
+    ) -> None:
+        super().__init__(max_total_spend=max_total_spend)
+        for label, value in (("payload_fraction", payload_fraction), ("nack_fraction", nack_fraction)):
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{label} must lie in [0, 1], got {value}")
+        self.payload_fraction = payload_fraction
+        self.nack_fraction = nack_fraction
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        plan = context.plan
+        if plan.kind in (PhaseKind.INFORM, PhaseKind.PROPAGATION):
+            slots = int(round(self.payload_fraction * plan.num_slots))
+            if slots <= 0:
+                return JamPlan.idle()
+            return JamPlan(spoof_payload_slots=slots, targeting=JamTargeting.none())
+        if plan.kind is PhaseKind.REQUEST:
+            slots = int(round(self.nack_fraction * plan.num_slots))
+            if slots <= 0:
+                return JamPlan.idle()
+            return JamPlan(spoof_nack_slots=slots, targeting=JamTargeting.none())
+        return JamPlan.idle()

@@ -1,0 +1,135 @@
+"""Closed-form bounds from the paper.
+
+These functions encode the quantitative statements of Theorem 1, Lemmas 9-11,
+Lemma 19, and Corollary 1 so that tests and experiments can compare measured
+values against the *predicted shape* (exponents, thresholds, budgets) rather
+than against magic numbers scattered through the code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..simulation.config import SimulationConfig
+
+__all__ = [
+    "cost_exponent",
+    "predicted_alice_cost",
+    "predicted_node_cost",
+    "no_jamming_alice_cost_bound",
+    "no_jamming_node_cost_bound",
+    "latency_bound",
+    "blocking_round",
+    "reactive_f_threshold",
+    "TheoremPrediction",
+    "predict",
+]
+
+
+def cost_exponent(k: int) -> float:
+    """The resource-competitive exponent ``1/(k+1)`` of Theorem 1."""
+
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    return 1.0 / (k + 1.0)
+
+
+def predicted_alice_cost(T: float, n: int, k: int = 2, constant: float = 1.0) -> float:
+    """Alice's cost bound ``Õ(T^{1/(k+1)} + 1)``: ``constant·(T^{1/(k+1)}·ln n + ln^{(k+3)/k} n)``.
+
+    The polylogarithmic additive term is Lemma 9's no-jamming cost; for
+    ``k = 2`` it is ``O(log^{5/2} n)`` (with ``a = 1/2``).
+    """
+
+    log_n = math.log(max(n, 2))
+    additive = log_n ** ((k + 3.0) / k)
+    return constant * (T ** cost_exponent(k) * log_n + additive)
+
+
+def predicted_node_cost(T: float, n: int, k: int = 2, constant: float = 1.0) -> float:
+    """A correct node's cost bound ``O(T^{1/(k+1)} + polylog n)``."""
+
+    log_n = math.log(max(n, 2))
+    additive = log_n ** 1.5
+    return constant * (T ** cost_exponent(k) + additive)
+
+
+def no_jamming_alice_cost_bound(n: int, a: float = 0.5, constant: float = 1.0) -> float:
+    """Lemma 9: with no blocked phases Alice pays ``O(log^{3a+1} n)``."""
+
+    return constant * math.log(max(n, 2)) ** (3.0 * a + 1.0)
+
+
+def no_jamming_node_cost_bound(n: int, b: float = 1.0, constant: float = 1.0) -> float:
+    """Lemma 9: with no blocked phases each node pays ``O(log^{(3/2)b} n)``."""
+
+    return constant * math.log(max(n, 2)) ** (1.5 * b)
+
+
+def latency_bound(n: int, k: int = 2, constant: float = 1.0) -> float:
+    """Theorem 1 / Corollary 1: termination within ``O(n^{1+1/k})`` slots."""
+
+    return constant * float(n) ** (1.0 + 1.0 / k)
+
+
+def blocking_round(config: SimulationConfig, beta: float = 1.0) -> float:
+    """The round index beyond which Carol cannot block a phase (Lemma 11).
+
+    Carol's side can jam at most ``C·(f+1)·n^{1+1/k}`` slots in total, so once
+    a single phase contains ``(C/β)(f+1)·n^{1+1/k}`` slots she cannot block
+    it; solving ``2^{(1+1/k)i}`` against that length gives
+    ``i = lg n + (k/(k+1))·lg((C/β)(f+1))``.
+    """
+
+    if not (0 < beta <= 1):
+        raise ValueError(f"beta must lie in (0, 1], got {beta}")
+    k = config.k
+    total = (config.budget_constant / beta) * (config.f + 1.0)
+    return math.log2(config.n) + (k / (k + 1.0)) * math.log2(max(total, 1.0))
+
+
+def reactive_f_threshold() -> float:
+    """§4.1: the reactive-adversary guarantee is proven for ``f < 1/24``."""
+
+    return 1.0 / 24.0
+
+
+@dataclass(frozen=True)
+class TheoremPrediction:
+    """The bundle of Theorem 1 predictions for one configuration and spend."""
+
+    T: float
+    n: int
+    k: int
+    alice_cost_bound: float
+    node_cost_bound: float
+    latency_bound_slots: float
+    delivery_fraction_bound: float
+
+    def scaled(self, constant: float) -> "TheoremPrediction":
+        """Rescale the cost bounds by an empirical constant factor."""
+
+        return TheoremPrediction(
+            T=self.T,
+            n=self.n,
+            k=self.k,
+            alice_cost_bound=self.alice_cost_bound * constant,
+            node_cost_bound=self.node_cost_bound * constant,
+            latency_bound_slots=self.latency_bound_slots,
+            delivery_fraction_bound=self.delivery_fraction_bound,
+        )
+
+
+def predict(config: SimulationConfig, T: float) -> TheoremPrediction:
+    """Theorem 1's predictions for a given configuration and adversary spend."""
+
+    return TheoremPrediction(
+        T=T,
+        n=config.n,
+        k=config.k,
+        alice_cost_bound=predicted_alice_cost(T, config.n, config.k),
+        node_cost_bound=predicted_node_cost(T, config.n, config.k),
+        latency_bound_slots=latency_bound(config.n, config.k),
+        delivery_fraction_bound=1.0 - config.epsilon,
+    )

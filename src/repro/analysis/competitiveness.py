@@ -1,0 +1,131 @@
+"""Resource-competitiveness analysis of measured runs.
+
+The paper's central quantity is the relationship between Carol's total spend
+``T`` and what Alice / each correct node had to spend in response.  This
+module turns a collection of :class:`~repro.core.outcome.BroadcastOutcome`
+objects (typically one per adversary-budget setting) into fitted cost
+exponents and competitive-ratio summaries that experiments compare against
+Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.outcome import BroadcastOutcome
+from .bounds import cost_exponent
+from .fitting import PowerLawFit, fit_power_law_with_offset
+
+__all__ = ["CompetitivenessReport", "analyze_outcomes", "summarize_ratios"]
+
+
+@dataclass(frozen=True)
+class CompetitivenessReport:
+    """Fitted cost scaling for one protocol across a sweep of adversary spends."""
+
+    protocol: str
+    k: int
+    adversary_spends: tuple
+    alice_costs: tuple
+    node_max_costs: tuple
+    node_mean_costs: tuple
+    alice_fit: Optional[PowerLawFit]
+    node_fit: Optional[PowerLawFit]
+    predicted_exponent: float
+
+    @property
+    def alice_exponent(self) -> Optional[float]:
+        return self.alice_fit.exponent if self.alice_fit else None
+
+    @property
+    def node_exponent(self) -> Optional[float]:
+        return self.node_fit.exponent if self.node_fit else None
+
+    def exponent_gap(self) -> Optional[float]:
+        """How far the measured node exponent sits from the predicted ``1/(k+1)``."""
+
+        if self.node_fit is None:
+            return None
+        return self.node_fit.exponent - self.predicted_exponent
+
+    def lines(self) -> List[str]:
+        """Human-readable report lines used by the benchmark harness."""
+
+        rows = [
+            f"protocol={self.protocol}  k={self.k}  predicted exponent 1/(k+1)={self.predicted_exponent:.3f}",
+        ]
+        if self.alice_fit is not None:
+            rows.append(f"  Alice cost vs T:    {self.alice_fit}")
+        if self.node_fit is not None:
+            rows.append(f"  node max cost vs T: {self.node_fit}")
+        return rows
+
+
+def analyze_outcomes(
+    outcomes: Sequence[BroadcastOutcome],
+    min_spend: float = 1.0,
+) -> CompetitivenessReport:
+    """Fit cost-versus-spend exponents for a sweep of outcomes of one protocol.
+
+    Outcomes with adversary spend below ``min_spend`` anchor the additive
+    (no-jamming) offset but are excluded from the log-log fit.
+    """
+
+    if not outcomes:
+        raise ValueError("at least one outcome is required")
+    protocol = outcomes[0].protocol
+    k = outcomes[0].config.k
+
+    spends = np.array([o.adversary_spend for o in outcomes], dtype=float)
+    alice = np.array([o.alice_cost for o in outcomes], dtype=float)
+    node_max = np.array([o.max_node_cost for o in outcomes], dtype=float)
+    node_mean = np.array([o.mean_node_cost for o in outcomes], dtype=float)
+
+    order = np.argsort(spends)
+    spends, alice, node_max, node_mean = (
+        spends[order],
+        alice[order],
+        node_max[order],
+        node_mean[order],
+    )
+
+    mask = spends >= min_spend
+    alice_fit = node_fit = None
+    if mask.sum() >= 2:
+        alice_fit = fit_power_law_with_offset(spends[mask], alice[mask])
+        node_fit = fit_power_law_with_offset(spends[mask], node_max[mask])
+
+    return CompetitivenessReport(
+        protocol=protocol,
+        k=k,
+        adversary_spends=tuple(spends),
+        alice_costs=tuple(alice),
+        node_max_costs=tuple(node_max),
+        node_mean_costs=tuple(node_mean),
+        alice_fit=alice_fit,
+        node_fit=node_fit,
+        predicted_exponent=cost_exponent(k),
+    )
+
+
+def summarize_ratios(outcomes: Iterable[BroadcastOutcome]) -> dict:
+    """Aggregate competitive ratios and load-balance figures across outcomes."""
+
+    outcomes = list(outcomes)
+    if not outcomes:
+        return {}
+    alice_ratios = [o.alice_competitive_ratio for o in outcomes if np.isfinite(o.alice_competitive_ratio)]
+    node_ratios = [o.node_competitive_ratio for o in outcomes if np.isfinite(o.node_competitive_ratio)]
+    load = [o.load_balance_ratio for o in outcomes if np.isfinite(o.load_balance_ratio)]
+    return {
+        "runs": len(outcomes),
+        "alice_ratio_mean": float(np.mean(alice_ratios)) if alice_ratios else float("nan"),
+        "alice_ratio_max": float(np.max(alice_ratios)) if alice_ratios else float("nan"),
+        "node_ratio_mean": float(np.mean(node_ratios)) if node_ratios else float("nan"),
+        "node_ratio_max": float(np.max(node_ratios)) if node_ratios else float("nan"),
+        "load_balance_mean": float(np.mean(load)) if load else float("nan"),
+        "delivery_fraction_min": float(min(o.delivery_fraction for o in outcomes)),
+    }

@@ -1,0 +1,91 @@
+"""Concentration-of-measure helpers.
+
+The paper's analysis leans on two tools: standard multiplicative Chernoff
+bounds for independent indicator sums, and the bounded-differences inequality
+(its Theorem 2, from Dubhashi & Panconesi) for sums of *dependent* indicators
+such as "node u became informed".  These helpers expose both, plus the small
+algebraic facts (the paper's Fact 1) used repeatedly by tests to check that
+simulated counts stay inside their predicted envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "bounded_difference_tail",
+    "fact1_lower_bound",
+    "binomial_confidence_radius",
+    "expected_unique_successes",
+]
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """``P(X ≥ (1+δ)·μ) ≤ exp(-δ²μ/3)`` for a sum of independent 0/1 variables."""
+
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return math.exp(-(delta ** 2) * mean / 3.0)
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """``P(X ≤ (1-δ)·μ) ≤ exp(-δ²μ/2)`` for a sum of independent 0/1 variables."""
+
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not (0 <= delta <= 1):
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    return math.exp(-(delta ** 2) * mean / 2.0)
+
+
+def bounded_difference_tail(deviation: float, lipschitz_constants: Sequence[float]) -> float:
+    """Theorem 2 of the paper (bounded differences / Azuma–McDiarmid).
+
+    ``P(f ≥ E[f] + λ) ≤ exp(-λ² / (2·Σ cᵢ²))`` and symmetrically for the lower
+    tail; ``lipschitz_constants`` are the ``cᵢ``.
+    """
+
+    if deviation < 0:
+        raise ValueError(f"deviation must be non-negative, got {deviation}")
+    denom = 2.0 * sum(float(c) ** 2 for c in lipschitz_constants)
+    if denom <= 0:
+        return 0.0 if deviation > 0 else 1.0
+    return math.exp(-(deviation ** 2) / denom)
+
+
+def fact1_lower_bound(y: float) -> float:
+    """The paper's Fact 1: ``1 - y ≥ e^{-2y}`` for ``y ≤ 1/2`` (returns ``e^{-2y}``)."""
+
+    if y > 0.5:
+        raise ValueError(f"Fact 1 requires y <= 1/2, got {y}")
+    return math.exp(-2.0 * y)
+
+
+def binomial_confidence_radius(n_trials: int, p: float, confidence_sigmas: float = 4.0) -> float:
+    """A ``k``-sigma radius for a Binomial(n, p) count, used by statistical tests."""
+
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be non-negative, got {n_trials}")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    variance = n_trials * p * (1.0 - p)
+    return confidence_sigmas * math.sqrt(max(variance, 0.0))
+
+
+def expected_unique_successes(population: int, per_trial_probability: float, trials: int) -> float:
+    """Expected number of population members that succeed at least once.
+
+    Used to predict the size of the informed sets ``S_{i,h}``:
+    ``population · (1 - (1 - p)^{trials})``.
+    """
+
+    if population < 0 or trials < 0:
+        raise ValueError("population and trials must be non-negative")
+    if not (0.0 <= per_trial_probability <= 1.0):
+        raise ValueError(f"probability must lie in [0, 1], got {per_trial_probability}")
+    return population * (1.0 - (1.0 - per_trial_probability) ** trials)

@@ -1,0 +1,89 @@
+"""Aggregation of repeated randomized trials.
+
+The protocol's guarantees are "with high probability", so every experiment
+repeats each configuration over several seeds and reports means, spreads, and
+simple confidence intervals.  This module keeps that bookkeeping in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["TrialSummary", "summarize", "aggregate_records", "fraction_meeting"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Mean / spread summary of one scalar metric across repeated trials."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """A normal-approximation confidence interval for the mean."""
+
+        return (self.mean - z * self.stderr, self.mean + z * self.stderr)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.name}: {self.mean:.3g} ± {self.stderr:.2g} (min {self.minimum:.3g}, max {self.maximum:.3g}, n={self.count})"
+
+
+def summarize(name: str, values: Sequence[float]) -> TrialSummary:
+    """Summarise a sequence of per-trial scalar measurements."""
+
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError(f"cannot summarise empty series {name!r}")
+    return TrialSummary(
+        name=name,
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def aggregate_records(records: Iterable[Dict[str, float]]) -> Dict[str, TrialSummary]:
+    """Summarise every numeric field across a list of flat records."""
+
+    rows: List[Dict[str, float]] = list(records)
+    if not rows:
+        return {}
+    keys = sorted({key for row in rows for key in row})
+    summaries: Dict[str, TrialSummary] = {}
+    for key in keys:
+        values = [row[key] for row in rows if key in row and _is_finite(row[key])]
+        if values:
+            summaries[key] = summarize(key, values)
+    return summaries
+
+
+def fraction_meeting(values: Sequence[float], predicate: Callable[[float], bool]) -> float:
+    """Fraction of trials satisfying a predicate (e.g. delivery ≥ 1-ε)."""
+
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(1 for value in values if predicate(value)) / len(values)
+
+
+def _is_finite(value: float) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,14 @@
+"""Baseline broadcast protocols used as comparators by the experiments."""
+
+from .base import EpochBaseline
+from .ksy import GOLDEN_RATIO, KSYStyleBroadcast
+from .naive import NaiveBroadcast
+from .uncoordinated import BalancedBackoffBroadcast
+
+__all__ = [
+    "BalancedBackoffBroadcast",
+    "EpochBaseline",
+    "GOLDEN_RATIO",
+    "KSYStyleBroadcast",
+    "NaiveBroadcast",
+]

@@ -1,0 +1,32 @@
+"""The naive always-retransmit baseline.
+
+This is the strawman the paper's introduction dismisses: "a correct node
+continually sends m until the jamming stops; this yields very poor resource
+competitiveness since each node spends at least as much as the adversary."
+Here the sender keeps the channel saturated and every uninformed receiver
+keeps its radio on, so both sides pay one unit per slot for as long as Carol
+keeps jamming — per-device cost ``Θ(T)``, resource-competitive ratio ``Θ(1)``.
+"""
+
+from __future__ import annotations
+
+from .base import EpochBaseline
+
+__all__ = ["NaiveBroadcast"]
+
+
+class NaiveBroadcast(EpochBaseline):
+    """Alice transmits every slot; uninformed nodes listen every slot."""
+
+    protocol_name = "naive"
+
+    def epoch_length(self, epoch: int) -> int:
+        # Epochs double so that a run facing a budget-limited jammer ends
+        # within O(log) epochs of the jamming stopping.
+        return 2 ** epoch
+
+    def alice_send_probability(self, epoch: int) -> float:
+        return 1.0
+
+    def node_listen_probability(self, epoch: int) -> float:
+        return 1.0

@@ -1,0 +1,34 @@
+"""The paper's contribution: the ε-Broadcast protocol and its variants."""
+
+from .alice import AlicePolicy
+from .api import ADVERSARY_CATALOGUE, PROTOCOL_VARIANTS, make_adversary, run_broadcast
+from .broadcast import EpsilonBroadcast
+from .decoy import DecoyBroadcast
+from .estimation import SizeEstimateBroadcast
+from .general_k import GeneralKBroadcast
+from .outcome import BroadcastOutcome
+from .params import ProtocolParameters
+from .phases import ScheduleBuilder
+from .receiver import ReceiverPolicy
+from .state import NodeStatus, ProtocolState
+from .termination import RequestPhaseDecision, apply_request_phase
+
+__all__ = [
+    "ADVERSARY_CATALOGUE",
+    "AlicePolicy",
+    "apply_request_phase",
+    "BroadcastOutcome",
+    "DecoyBroadcast",
+    "EpsilonBroadcast",
+    "GeneralKBroadcast",
+    "make_adversary",
+    "NodeStatus",
+    "PROTOCOL_VARIANTS",
+    "ProtocolParameters",
+    "ProtocolState",
+    "ReceiverPolicy",
+    "RequestPhaseDecision",
+    "run_broadcast",
+    "ScheduleBuilder",
+    "SizeEstimateBroadcast",
+]

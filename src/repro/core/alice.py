@@ -1,0 +1,131 @@
+"""Alice's per-phase behaviour.
+
+Alice is the trusted sender.  Her protocol role is small but precise:
+
+* in the **inform phase** of round ``i`` she transmits ``m`` in each slot with
+  probability ``2·ln n / 2^{b·i}`` (Figure 1, ``k = 2``) or
+  ``2·c·ln^k n / 2^i`` (Figure 2, general ``k``);
+* she sleeps through the **propagation phase** — relaying is the nodes' job;
+* in the **request phase** she listens with probability
+  ``c·ln n / ((1 - e^{-4ε'}) · 2^{(b/2+1)i})`` and terminates the protocol if
+  she hears at most ``5·c·ln n`` noisy slots (few surviving nacks means almost
+  everyone has the message).
+
+The class holds no mutable state; the orchestrator queries it when building
+phase plans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..simulation.phaseplan import clip_probability
+from .params import ProtocolParameters
+
+__all__ = ["AlicePolicy"]
+
+
+class AlicePolicy:
+    """Computes Alice's send/listen probabilities for each phase of a round.
+
+    Parameters
+    ----------
+    params:
+        The protocol constants.
+    n:
+        Network size used inside the probability formulas.  The §4.2 variant
+        passes a (possibly over-)estimate here instead of the true ``n``.
+    figure:
+        ``1`` to use the ``k = 2`` pseudocode probabilities (Figure 1) or
+        ``2`` for the general-``k`` pseudocode (Figure 2).
+    """
+
+    def __init__(self, params: ProtocolParameters, n: int, figure: int = 1) -> None:
+        if figure not in (1, 2):
+            raise ValueError(f"figure must be 1 or 2, got {figure}")
+        self.params = params
+        self.n = n
+        self.figure = figure
+
+    @property
+    def log_n(self) -> float:
+        return math.log(max(self.n, 2))
+
+    def inform_send_probability(self, round_index: int) -> float:
+        """Probability Alice transmits ``m`` in each inform-phase slot."""
+
+        params = self.params
+        if self.figure == 1:
+            raw = 2.0 * self.log_n / (2.0 ** (params.b_value * round_index))
+        else:
+            raw = 2.0 * params.c * (self.log_n ** params.k) / (2.0 ** round_index)
+        return clip_probability(raw)
+
+    def request_listen_probability(self, round_index: int) -> float:
+        """Probability Alice listens in each request-phase slot.
+
+        The denominator matches the request-phase length of the pseudocode in
+        use — ``2^{(b/2+1)i}`` for Figure 1, ``2^{(1+1/k)i}`` for Figure 2 —
+        so that Alice's expected number of listening slots per request phase
+        is ``c·ln n / (1 - e^{-4ε'})`` regardless of the round.
+        """
+
+        params = self.params
+        if self.figure == 1:
+            exponent = (params.b_value / 2.0 + 1.0) * round_index
+        else:
+            exponent = (1.0 + 1.0 / params.k) * round_index
+        denominator = (1.0 - math.exp(-4.0 * params.epsilon_prime)) * (2.0 ** exponent)
+        raw = params.c * self.log_n / denominator
+        return clip_probability(raw)
+
+    def termination_threshold(self) -> float:
+        """Alice terminates when she hears at most this many noisy slots."""
+
+        return self.params.termination_threshold(self.n)
+
+    def request_phase_length(self, round_index: int) -> int:
+        """Length of the request phase under the pseudocode in use."""
+
+        if self.figure == 1:
+            return self.params.request_phase_length(round_index)
+        return self.params.phase_length(round_index)
+
+    def min_reliable_termination_round(self, margin: float = 1.5) -> int:
+        """First round where the noisy-slot statistic reliably discriminates.
+
+        The paper's analysis assumes ``i ≥ 3·lg ln n`` *and* n large enough
+        that the expected number of noisy slots heard while many nodes are
+        still uninformed clears the ``5·c·ln n`` threshold with room to spare.
+        At laptop-scale ``n`` the second condition can bind later than the
+        first, so the orchestrator only allows termination once the expected
+        count (with the whole network still nacking) exceeds ``margin`` times
+        the threshold.
+        """
+
+        p_busy = 1.0 - (1.0 - 1.0 / self.n) ** self.n
+        max_round = self.params.resolved_max_round(self.n)
+        for round_index in range(self.params.start_round, max_round + 1):
+            expected = (
+                self.request_listen_probability(round_index)
+                * self.request_phase_length(round_index)
+                * p_busy
+            )
+            if expected >= margin * self.termination_threshold():
+                return round_index
+        return max_round
+
+    def earliest_termination_round(self) -> int:
+        """The first round in which Alice's termination test may fire."""
+
+        return max(
+            self.params.resolved_min_termination_round(self.n),
+            self.min_reliable_termination_round(),
+        )
+
+    def should_terminate(self, noisy_slots_heard: int, round_index: int) -> bool:
+        """Alice's termination test for the end of a request phase."""
+
+        if round_index < self.earliest_termination_round():
+            return False
+        return noisy_slots_heard <= self.termination_threshold()

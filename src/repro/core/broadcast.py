@@ -1,0 +1,314 @@
+"""The ε-Broadcast orchestrator.
+
+:class:`EpsilonBroadcast` drives a full protocol execution: it builds the
+per-round phase schedules, lets the adversary commit to an attack before each
+phase, hands the phase to an execution engine, and applies the protocol's
+state transitions (who is informed, who relays, who terminates) to the
+results.  The class implements the ``k = 2`` protocol of Figure 1 by default;
+the general-``k``, decoy-traffic, and unknown-``n`` variants subclass it and
+override narrow hooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..adversary.base import Adversary
+from ..adversary.none import NullAdversary
+from ..simulation.clock import SlotClock
+from ..simulation.config import SimulationConfig
+from ..simulation.engine import SlotEngine
+from ..simulation.errors import ConfigurationError
+from ..simulation.events import EventLog, PhaseRecord
+from ..simulation.fastengine import PhaseEngine
+from ..simulation.metrics import CostBreakdown, DeliveryStats
+from ..simulation.network import Network
+from ..simulation.phaseplan import PhaseContext, PhaseKind, PhasePlan, PhaseResult, PhaseRoles
+from .alice import AlicePolicy
+from .outcome import BroadcastOutcome
+from .params import ProtocolParameters
+from .phases import ScheduleBuilder
+from .receiver import ReceiverPolicy
+from .state import NodeStatus, ProtocolState
+from .termination import apply_request_phase
+
+__all__ = ["EpsilonBroadcast"]
+
+EngineSpec = Union[str, SlotEngine, PhaseEngine]
+
+
+class EpsilonBroadcast:
+    """Run the ε-Broadcast protocol of Gilbert & Young against an adversary.
+
+    Parameters
+    ----------
+    config:
+        Model parameters (network size, budgets, ``k``, ``ε``).
+    adversary:
+        The attack strategy Carol plays; defaults to no attack.
+    params:
+        Protocol constants; derived from ``config`` when omitted.
+    engine:
+        ``"fast"`` (vectorised, default), ``"slot"`` (slot-faithful), or an
+        already-constructed engine instance.
+    network:
+        An existing :class:`~repro.simulation.network.Network` to reuse;
+        constructed from ``config`` when omitted.
+    record_events:
+        Keep the phase-level event log on the returned outcome.
+    figure:
+        Which pseudocode's probabilities to use (1 = Figure 1, 2 = Figure 2).
+        Defaults to Figure 1 for ``k = 2`` and Figure 2 otherwise.
+    decoy_traffic:
+        Enable the §4.1 decoy-traffic modification.
+    """
+
+    protocol_name = "epsilon-broadcast"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        adversary: Optional[Adversary] = None,
+        params: Optional[ProtocolParameters] = None,
+        engine: EngineSpec = "fast",
+        network: Optional[Network] = None,
+        record_events: bool = True,
+        figure: Optional[int] = None,
+        decoy_traffic: bool = False,
+    ) -> None:
+        self.config = config
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.params = params if params is not None else ProtocolParameters.from_config(config)
+        if self.params.k != config.k:
+            raise ConfigurationError(
+                f"protocol k ({self.params.k}) disagrees with configuration k ({config.k})"
+            )
+        self.network = network if network is not None else Network(config)
+        self.engine = self._resolve_engine(engine)
+        self.record_events = record_events
+        self.figure = figure if figure is not None else (1 if self.params.k == 2 else 2)
+        self.decoy_traffic = decoy_traffic
+
+        self.alice_policy = self._build_alice_policy()
+        self.receiver_policy = self._build_receiver_policy()
+        self.schedule = self._build_schedule()
+
+    # ------------------------------------------------------------------ #
+    # Construction hooks (overridden by protocol variants)                #
+    # ------------------------------------------------------------------ #
+
+    def _resolve_engine(self, engine: EngineSpec):
+        if isinstance(engine, (SlotEngine, PhaseEngine)):
+            return engine
+        if engine == "fast":
+            return PhaseEngine(self.network)
+        if engine == "slot":
+            return SlotEngine(self.network)
+        raise ConfigurationError(f"unknown engine specification {engine!r}")
+
+    def _protocol_n(self) -> int:
+        """The network-size value plugged into the probability formulas."""
+
+        return self.config.n
+
+    def _build_alice_policy(self) -> AlicePolicy:
+        figure = self.figure if hasattr(self, "figure") else 1
+        return AlicePolicy(self.params, self._protocol_n(), figure=figure)
+
+    def _build_receiver_policy(self) -> ReceiverPolicy:
+        figure = self.figure if hasattr(self, "figure") else 1
+        return ReceiverPolicy(
+            self.params,
+            self._protocol_n(),
+            figure=figure,
+            decoy_traffic=self.decoy_traffic,
+        )
+
+    def _build_schedule(self) -> ScheduleBuilder:
+        return ScheduleBuilder(self.params, self.alice_policy, self.receiver_policy, figure=self.figure)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> BroadcastOutcome:
+        """Execute the protocol to completion and return its outcome."""
+
+        state = ProtocolState(self.config.n)
+        clock = SlotClock()
+        log = EventLog()
+        start_round = self.params.start_round
+        max_round = self.params.resolved_max_round(self.config.n)
+        terminated_by_cap = False
+
+        round_index = start_round
+        while round_index <= max_round:
+            phases = self._round_phases(round_index)
+            for plan in phases:
+                roles = self._roles_for(plan, state)
+                self._execute_phase(plan, roles, state, clock, log, round_index)
+                if state.everyone_done():
+                    break
+            if state.everyone_done():
+                break
+            round_index += 1
+        else:
+            terminated_by_cap = True
+            self._finalize_at_cap(state, max_round)
+
+        return self._build_outcome(state, clock, log, terminated_by_cap)
+
+    # ------------------------------------------------------------------ #
+    # Per-phase machinery                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _round_phases(self, round_index: int) -> List[PhasePlan]:
+        return self.schedule.round_phases(round_index)
+
+    def _roles_for(self, plan: PhasePlan, state: ProtocolState) -> PhaseRoles:
+        active_uninformed = state.active_uninformed()
+        relays = state.active_informed() if plan.kind is PhaseKind.PROPAGATION else frozenset()
+        decoy_senders = (
+            active_uninformed
+            if (self.decoy_traffic and plan.kind in (PhaseKind.INFORM, PhaseKind.PROPAGATION))
+            else frozenset()
+        )
+        return PhaseRoles(
+            active_uninformed=active_uninformed,
+            relays=relays,
+            decoy_senders=decoy_senders,
+            alice_active=not state.alice_terminated,
+        )
+
+    def _execute_phase(
+        self,
+        plan: PhasePlan,
+        roles: PhaseRoles,
+        state: ProtocolState,
+        clock: SlotClock,
+        log: EventLog,
+        round_index: int,
+    ) -> PhaseResult:
+        context = PhaseContext(
+            plan=plan,
+            roles=roles,
+            config=self.config,
+            history=log.phases,
+            adversary_remaining_budget=self.network.adversary_ledger.remaining,
+        )
+        jam_plan = self.adversary.plan_phase(context)
+
+        alice_before = self.network.alice_cost
+        nodes_before = float(self.network.node_costs().sum())
+
+        clock.begin_phase(round_index, plan.name)
+        result = self.engine.run_phase(plan, roles, jam_plan, start_slot=clock.now)
+        clock.advance(plan.num_slots)
+        clock.end_phase()
+
+        self._apply_result(plan, roles, result, state, round_index, clock)
+
+        self.adversary.observe_result(context, result)
+        # Phase records are cheap (one per phase) and outcome assembly relies
+        # on them, so they are always recorded; ``record_events`` only controls
+        # whether the log is attached to the returned outcome.
+        log.record_phase(
+            PhaseRecord(
+                round_index=round_index,
+                phase_name=plan.name,
+                num_slots=plan.num_slots,
+                start_slot=clock.now - plan.num_slots,
+                jammed_slots=result.jammed_slots,
+                adversary_spend=result.adversary_spend,
+                newly_informed=len(result.newly_informed),
+                alice_cost=self.network.alice_cost - alice_before,
+                nodes_cost=float(self.network.node_costs().sum()) - nodes_before,
+                active_uninformed_after=len(state.active_uninformed()),
+                terminated_after=state.terminated_informed_count()
+                + state.terminated_uninformed_count(),
+            )
+        )
+        return result
+
+    def _apply_result(
+        self,
+        plan: PhasePlan,
+        roles: PhaseRoles,
+        result: PhaseResult,
+        state: ProtocolState,
+        round_index: int,
+        clock: SlotClock,
+    ) -> None:
+        """Apply protocol state transitions implied by a phase result."""
+
+        if result.newly_informed:
+            state.mark_informed(result.newly_informed, slot=clock.now)
+
+        if plan.kind is PhaseKind.PROPAGATION:
+            # Relays transmitted during this step and terminate at its end.
+            state.terminate_informed(roles.relays, round_index)
+            if plan.step >= self.params.k - 1:
+                # Final propagation step of the round: nodes informed during it
+                # hold the message and have no further role, so they terminate
+                # too (§2.1: keeping S_i around is wasteful).
+                state.terminate_informed(state.active_informed(), round_index)
+
+        if plan.kind is PhaseKind.REQUEST:
+            # Informed-but-active nodes can only exist here if the round had no
+            # propagation step (k = 2 always has one); terminate them first so
+            # the delivery accounting stays exact.
+            leftovers = state.active_informed()
+            if leftovers:
+                state.terminate_informed(leftovers, round_index)
+            apply_request_phase(
+                state,
+                result,
+                self.alice_policy,
+                self.receiver_policy,
+                round_index,
+            )
+
+    def _finalize_at_cap(self, state: ProtocolState, max_round: int) -> None:
+        """Force-terminate every remaining participant at the safety cap."""
+
+        state.terminate_informed(state.active_informed(), max_round)
+        state.terminate_uninformed(state.active_uninformed(), max_round)
+        state.terminate_alice(max_round)
+
+    # ------------------------------------------------------------------ #
+    # Outcome assembly                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _build_outcome(
+        self,
+        state: ProtocolState,
+        clock: SlotClock,
+        log: EventLog,
+        terminated_by_cap: bool,
+    ) -> BroadcastOutcome:
+        informed = sum(1 for status in state.statuses.values() if status.is_informed)
+        delivery = DeliveryStats(
+            n=self.config.n,
+            informed=informed,
+            terminated_informed=state.terminated_informed_count(),
+            terminated_uninformed=state.terminated_uninformed_count(),
+            slots_elapsed=clock.now,
+            rounds_executed=log.rounds_executed(),
+            alice_terminated=state.alice_terminated,
+        )
+        costs = CostBreakdown.from_snapshot(
+            self.network.cost_snapshot(), per_node=self.network.node_costs()
+        )
+        extra = {}
+        if state.alice_terminated_at_round is not None:
+            extra["alice_terminated_round"] = float(state.alice_terminated_at_round)
+        return BroadcastOutcome(
+            protocol=self.protocol_name,
+            adversary=getattr(self.adversary, "name", type(self.adversary).__name__),
+            config=self.config,
+            delivery=delivery,
+            costs=costs,
+            events=log if self.record_events else None,
+            terminated_by_cap=terminated_by_cap,
+            extra=extra,
+        )

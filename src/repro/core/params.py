@@ -1,0 +1,159 @@
+"""Protocol parameters for ε-Broadcast.
+
+The protocol of Figure 1 is parameterised by two constants ``a`` and ``b``
+whose values are *derived* in Lemma 11 to make the protocol simultaneously
+load balanced and resource competitive: ``b = 1`` and ``a = 1/k``.  This module
+keeps those constants explicit (so ablation experiments can move them) and
+derives the per-round quantities — phase lengths, round window, termination
+threshold — that the schedules in :mod:`repro.core.phases` consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..simulation.config import SimulationConfig
+from ..simulation.errors import ConfigurationError
+
+__all__ = ["ProtocolParameters"]
+
+
+@dataclass(frozen=True)
+class ProtocolParameters:
+    """Resolved constants for one ε-Broadcast execution.
+
+    Attributes
+    ----------
+    k:
+        The budget exponent (``k >= 2``); per-device cost is
+        ``Õ(T^{1/(k+1)})``.
+    a, b:
+        The protocol exponents of Figure 1.  Lemma 11 derives ``a = 1/k`` and
+        ``b = 1``; other values are accepted for ablation studies.
+    c:
+        The high-probability constant; also sets the ``5·c·ln n`` termination
+        threshold.
+    epsilon_prime:
+        The internal ``ε'`` constant used in listening probabilities and
+        termination thresholds.
+    start_round:
+        First round index ``i`` executed.  The paper lets nodes start at
+        ``i = 1``; starting later skips rounds that are too short to matter.
+    min_termination_round:
+        First round in which the request-phase termination rules may fire; the
+        paper's analysis begins at ``i = 3·lg ln n`` and terminating earlier
+        would let nodes give up before the noisy-slot statistics are
+        meaningful.
+    max_round:
+        Safety cap on the round index (``lg n + O(1)`` in the paper); the
+        orchestrator aborts the run if it is ever exceeded, which cannot
+        happen when Carol's budget is enforced.
+    """
+
+    k: int = 2
+    a: Optional[float] = None
+    b: float = 1.0
+    c: float = 2.0
+    epsilon_prime: float = 1.0 / 64.0
+    start_round: int = 1
+    min_termination_round: Optional[int] = None
+    max_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or self.k < 2:
+            raise ConfigurationError(f"k must be an integer >= 2, got {self.k!r}")
+        if self.a is not None and not (0 < self.a <= 1):
+            raise ConfigurationError(f"a must lie in (0, 1], got {self.a}")
+        if not (0 < self.b <= 1):
+            raise ConfigurationError(f"b must lie in (0, 1], got {self.b}")
+        if self.c <= 0:
+            raise ConfigurationError(f"c must be positive, got {self.c}")
+        if not (0 < self.epsilon_prime < 1):
+            raise ConfigurationError(
+                f"epsilon_prime must lie in (0, 1), got {self.epsilon_prime}"
+            )
+        if self.start_round < 1:
+            raise ConfigurationError(f"start_round must be >= 1, got {self.start_round}")
+        if self.min_termination_round is not None and self.min_termination_round < 1:
+            raise ConfigurationError(
+                f"min_termination_round must be >= 1, got {self.min_termination_round}"
+            )
+        if self.max_round is not None and self.max_round < self.start_round:
+            raise ConfigurationError(
+                f"max_round ({self.max_round}) must be >= start_round ({self.start_round})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived constants                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def a_value(self) -> float:
+        """The exponent ``a``; Lemma 11's load-balanced choice is ``1/k``."""
+
+        return self.a if self.a is not None else 1.0 / self.k
+
+    @property
+    def b_value(self) -> float:
+        """The exponent ``b``; Lemma 11's choice is ``1``."""
+
+        return self.b
+
+    @classmethod
+    def from_config(cls, config: SimulationConfig, **overrides: object) -> "ProtocolParameters":
+        """Build parameters consistent with a :class:`SimulationConfig`."""
+
+        defaults = dict(
+            k=config.k,
+            c=config.c,
+            epsilon_prime=config.eps_prime,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+    # Per-round geometry                                                  #
+    # ------------------------------------------------------------------ #
+
+    def phase_length(self, round_index: int) -> int:
+        """Number of slots in an inform/propagation phase of round ``i``.
+
+        Figure 1 uses ``2^{(a+b)i}`` and Figure 2 uses ``2^{(1+1/k)i}``; with
+        the derived values ``a = 1/k`` and ``b = 1`` these coincide.
+        """
+
+        exponent = (self.a_value + self.b_value) * round_index
+        return max(1, int(round(2.0 ** exponent)))
+
+    def request_phase_length(self, round_index: int) -> int:
+        """Number of slots in the request phase of round ``i`` (``2^{(b/2+1)i}``)."""
+
+        exponent = (self.b_value / 2.0 + 1.0) * round_index
+        return max(1, int(round(2.0 ** exponent)))
+
+    def resolved_min_termination_round(self, n: int) -> int:
+        """The first round in which termination checks are allowed."""
+
+        if self.min_termination_round is not None:
+            return self.min_termination_round
+        log_n = max(math.log(n), 2.0)
+        return max(self.start_round, int(math.ceil(3.0 * math.log2(log_n))))
+
+    def resolved_max_round(self, n: int) -> int:
+        """The safety cap on round indices (``lg n + O(1)``)."""
+
+        if self.max_round is not None:
+            return self.max_round
+        return int(math.ceil(math.log2(n))) + 4
+
+    def termination_threshold(self, n: int) -> float:
+        """The ``5·c·ln n`` noisy-slot threshold of the request phase."""
+
+        return 5.0 * self.c * math.log(n)
+
+    def with_(self, **changes: object) -> "ProtocolParameters":
+        """Return a copy with the given fields replaced."""
+
+        return replace(self, **changes)

@@ -1,0 +1,123 @@
+"""Round schedules: turning the pseudocode of Figures 1 and 2 into phase plans.
+
+:class:`ScheduleBuilder` assembles, for each round ``i``, the list of
+:class:`~repro.simulation.phaseplan.PhasePlan` objects the engines execute:
+
+* one **inform** phase of ``2^{(a+b)i}`` slots,
+* ``k - 1`` **propagation** steps of the same length (one step for ``k = 2``,
+  matching Figure 1),
+* one **request** phase of ``2^{(b/2+1)i}`` slots (Figure 1) or
+  ``2^{(1+1/k)i}`` slots (Figure 2).
+
+All per-slot probabilities come from :class:`~repro.core.alice.AlicePolicy`
+and :class:`~repro.core.receiver.ReceiverPolicy`, so protocol variants only
+need to swap the policies (or override :meth:`ScheduleBuilder.round_phases`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..simulation.phaseplan import PhaseKind, PhasePlan
+from .alice import AlicePolicy
+from .params import ProtocolParameters
+from .receiver import ReceiverPolicy
+
+__all__ = ["ScheduleBuilder"]
+
+
+class ScheduleBuilder:
+    """Builds the per-round phase plans of ε-Broadcast.
+
+    Parameters
+    ----------
+    params:
+        Protocol constants (``k``, ``a``, ``b``, ``c``, ``ε'``, round window).
+    alice:
+        Alice's probability policy.
+    receiver:
+        The correct nodes' probability policy.
+    figure:
+        ``1`` for the ``k = 2`` pseudocode of Figure 1, ``2`` for the general
+        ``k`` pseudocode of Figure 2.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        alice: AlicePolicy,
+        receiver: ReceiverPolicy,
+        figure: int = 1,
+    ) -> None:
+        if figure not in (1, 2):
+            raise ValueError(f"figure must be 1 or 2, got {figure}")
+        self.params = params
+        self.alice = alice
+        self.receiver = receiver
+        self.figure = figure
+
+    # ------------------------------------------------------------------ #
+    # Phase construction                                                  #
+    # ------------------------------------------------------------------ #
+
+    def inform_phase(self, round_index: int) -> PhasePlan:
+        """The inform phase of round ``i``: Alice seeds the set ``S_{i,1}``."""
+
+        return PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=round_index,
+            num_slots=self.params.phase_length(round_index),
+            alice_send_prob=self.alice.inform_send_probability(round_index),
+            uninformed_listen_prob=self.receiver.inform_listen_probability(round_index),
+            decoy_send_prob=self.receiver.decoy_send_probability(round_index),
+        )
+
+    def propagation_steps(self, round_index: int) -> List[PhasePlan]:
+        """The ``k - 1`` propagation steps of round ``i``."""
+
+        steps: List[PhasePlan] = []
+        for step in range(1, self.params.k):
+            steps.append(
+                PhasePlan(
+                    name=f"propagation:{step}",
+                    kind=PhaseKind.PROPAGATION,
+                    round_index=round_index,
+                    num_slots=self.params.phase_length(round_index),
+                    step=step,
+                    relay_send_prob=self.receiver.relay_send_probability(round_index),
+                    uninformed_listen_prob=self.receiver.propagation_listen_probability(round_index),
+                    decoy_send_prob=self.receiver.decoy_send_probability(round_index),
+                )
+            )
+        return steps
+
+    def request_phase(self, round_index: int) -> PhasePlan:
+        """The request phase of round ``i``: nacks, listening, termination."""
+
+        if self.figure == 1:
+            num_slots = self.params.request_phase_length(round_index)
+        else:
+            num_slots = self.params.phase_length(round_index)
+        return PhasePlan(
+            name="request",
+            kind=PhaseKind.REQUEST,
+            round_index=round_index,
+            num_slots=num_slots,
+            alice_listen_prob=self.alice.request_listen_probability(round_index),
+            uninformed_listen_prob=self.receiver.request_listen_probability(round_index),
+            nack_send_prob=self.receiver.nack_send_probability(round_index),
+        )
+
+    def round_phases(self, round_index: int) -> List[PhasePlan]:
+        """All phases of round ``i``, in execution order."""
+
+        phases = [self.inform_phase(round_index)]
+        phases.extend(self.propagation_steps(round_index))
+        phases.append(self.request_phase(round_index))
+        return phases
+
+    def round_length(self, round_index: int) -> int:
+        """Total number of slots in round ``i``."""
+
+        return sum(plan.num_slots for plan in self.round_phases(round_index))

@@ -1,0 +1,163 @@
+"""Per-node protocol state.
+
+:class:`ProtocolState` tracks, for every correct node and for Alice, where it
+is in the ε-Broadcast life cycle:
+
+* **uninformed & active** — still listening for ``m``;
+* **informed & active** — received ``m`` in the most recent phase and will
+  relay it during the next propagation step before terminating;
+* **terminated informed / terminated uninformed** — done, with or without the
+  message (the latter is the ε-fraction the protocol is allowed to lose).
+
+The orchestrators in :mod:`repro.core.broadcast` drive all transitions; the
+state object only enforces their legality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..simulation.errors import ProtocolViolationError
+
+__all__ = ["NodeStatus", "ProtocolState"]
+
+
+class NodeStatus(enum.Enum):
+    """Life-cycle status of a correct node."""
+
+    UNINFORMED = "uninformed"
+    INFORMED = "informed"
+    TERMINATED_INFORMED = "terminated_informed"
+    TERMINATED_UNINFORMED = "terminated_uninformed"
+
+    @property
+    def is_terminated(self) -> bool:
+        return self in (NodeStatus.TERMINATED_INFORMED, NodeStatus.TERMINATED_UNINFORMED)
+
+    @property
+    def is_informed(self) -> bool:
+        return self in (NodeStatus.INFORMED, NodeStatus.TERMINATED_INFORMED)
+
+
+@dataclass
+class ProtocolState:
+    """Mutable protocol state for one execution."""
+
+    n: int
+    statuses: Dict[int, NodeStatus] = field(default_factory=dict)
+    informed_at_slot: Dict[int, int] = field(default_factory=dict)
+    terminated_at_round: Dict[int, int] = field(default_factory=dict)
+    alice_terminated: bool = False
+    alice_terminated_at_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.statuses:
+            self.statuses = {node_id: NodeStatus.UNINFORMED for node_id in range(self.n)}
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def status(self, node_id: int) -> NodeStatus:
+        return self.statuses[node_id]
+
+    def active_uninformed(self) -> FrozenSet[int]:
+        """Nodes still executing the protocol without the message."""
+
+        return frozenset(
+            node_id
+            for node_id, status in self.statuses.items()
+            if status is NodeStatus.UNINFORMED
+        )
+
+    def active_informed(self) -> FrozenSet[int]:
+        """Nodes holding the message that have not yet terminated (relays)."""
+
+        return frozenset(
+            node_id for node_id, status in self.statuses.items() if status is NodeStatus.INFORMED
+        )
+
+    def informed_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if status.is_informed)
+
+    def terminated_informed_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if status is NodeStatus.TERMINATED_INFORMED)
+
+    def terminated_uninformed_count(self) -> int:
+        return sum(
+            1 for status in self.statuses.values() if status is NodeStatus.TERMINATED_UNINFORMED
+        )
+
+    def all_nodes_terminated(self) -> bool:
+        return all(status.is_terminated for status in self.statuses.values())
+
+    def everyone_done(self) -> bool:
+        """Protocol-over condition: Alice and every correct node terminated."""
+
+        return self.alice_terminated and self.all_nodes_terminated()
+
+    # ------------------------------------------------------------------ #
+    # Transitions                                                         #
+    # ------------------------------------------------------------------ #
+
+    def mark_informed(self, node_ids: Iterable[int], slot: int) -> Set[int]:
+        """Transition ``UNINFORMED -> INFORMED``; returns the ids that changed."""
+
+        changed: Set[int] = set()
+        for node_id in node_ids:
+            status = self.statuses.get(node_id)
+            if status is None:
+                raise ProtocolViolationError(f"unknown node id {node_id}")
+            if status is NodeStatus.UNINFORMED:
+                self.statuses[node_id] = NodeStatus.INFORMED
+                self.informed_at_slot[node_id] = slot
+                changed.add(node_id)
+            elif status is NodeStatus.INFORMED:
+                # Receiving a duplicate copy is harmless.
+                continue
+            else:
+                raise ProtocolViolationError(
+                    f"node {node_id} received m after terminating ({status.value})"
+                )
+        return changed
+
+    def terminate_informed(self, node_ids: Iterable[int], round_index: int) -> None:
+        """Transition ``INFORMED -> TERMINATED_INFORMED``."""
+
+        for node_id in node_ids:
+            status = self.statuses.get(node_id)
+            if status is None:
+                raise ProtocolViolationError(f"unknown node id {node_id}")
+            if status is NodeStatus.INFORMED:
+                self.statuses[node_id] = NodeStatus.TERMINATED_INFORMED
+                self.terminated_at_round[node_id] = round_index
+            elif status is NodeStatus.TERMINATED_INFORMED:
+                continue
+            else:
+                raise ProtocolViolationError(
+                    f"cannot terminate node {node_id} as informed from status {status.value}"
+                )
+
+    def terminate_uninformed(self, node_ids: Iterable[int], round_index: int) -> None:
+        """Transition ``UNINFORMED -> TERMINATED_UNINFORMED`` (the ε-loss path)."""
+
+        for node_id in node_ids:
+            status = self.statuses.get(node_id)
+            if status is None:
+                raise ProtocolViolationError(f"unknown node id {node_id}")
+            if status is NodeStatus.UNINFORMED:
+                self.statuses[node_id] = NodeStatus.TERMINATED_UNINFORMED
+                self.terminated_at_round[node_id] = round_index
+            elif status is NodeStatus.TERMINATED_UNINFORMED:
+                continue
+            else:
+                raise ProtocolViolationError(
+                    f"cannot terminate node {node_id} as uninformed from status {status.value}"
+                )
+
+    def terminate_alice(self, round_index: int) -> None:
+        if not self.alice_terminated:
+            self.alice_terminated = True
+            self.alice_terminated_at_round = round_index

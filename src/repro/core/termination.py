@@ -1,0 +1,85 @@
+"""Request-phase termination logic.
+
+§2.2 of the paper describes the termination protocol: during the request phase
+uninformed nodes advertise their existence with nacks; a listener (Alice or a
+node) that hears at most ``5·c·ln n`` noisy slots concludes that almost nobody
+is left wanting the message and stops.  Because correct nodes cannot be
+authenticated, Carol can delay termination by spoofing nacks or jamming — but
+never *cause* premature termination, since silence cannot be forged.
+
+This module applies those rules to a request phase's
+:class:`~repro.simulation.phaseplan.PhaseResult` and reports exactly what
+changed, so orchestrators stay small and the rules themselves are unit
+testable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Set
+
+from ..simulation.phaseplan import PhaseResult
+from .alice import AlicePolicy
+from .receiver import ReceiverPolicy
+from .state import ProtocolState
+
+__all__ = ["RequestPhaseDecision", "apply_request_phase"]
+
+
+@dataclass(frozen=True)
+class RequestPhaseDecision:
+    """The outcome of applying the termination rules after a request phase."""
+
+    round_index: int
+    terminated_nodes: FrozenSet[int]
+    alice_terminated: bool
+    alice_noisy_heard: int
+    threshold: float
+    nodes_evaluated: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def any_terminated(self) -> bool:
+        return self.alice_terminated or bool(self.terminated_nodes)
+
+
+def apply_request_phase(
+    state: ProtocolState,
+    result: PhaseResult,
+    alice_policy: AlicePolicy,
+    receiver_policy: ReceiverPolicy,
+    round_index: int,
+) -> RequestPhaseDecision:
+    """Apply the request-phase termination rules and mutate ``state``.
+
+    Every *active uninformed* node compares the number of noisy slots it heard
+    against the ``5·c·ln n`` threshold and terminates (uninformed) if the
+    channel looked quiet.  Alice does the same with her own count.  Nodes that
+    hold the message have already terminated at the end of the propagation
+    phase, so they take no part here.
+    """
+
+    threshold = receiver_policy.termination_threshold()
+    terminating: Set[int] = set()
+    active = state.active_uninformed()
+    for node_id in active:
+        heard = result.node_noisy_heard.get(node_id, 0)
+        if receiver_policy.should_terminate(heard, round_index):
+            terminating.add(node_id)
+    if terminating:
+        state.terminate_uninformed(terminating, round_index)
+
+    alice_terminates = False
+    if not state.alice_terminated:
+        if alice_policy.should_terminate(result.alice_noisy_heard, round_index):
+            state.terminate_alice(round_index)
+            alice_terminates = True
+
+    return RequestPhaseDecision(
+        round_index=round_index,
+        terminated_nodes=frozenset(terminating),
+        alice_terminated=alice_terminates,
+        alice_noisy_heard=result.alice_noisy_heard,
+        threshold=threshold,
+        nodes_evaluated=len(active),
+    )

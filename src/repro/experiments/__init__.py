@@ -1,0 +1,29 @@
+"""The benchmark harness: one experiment per quantitative claim of the paper."""
+
+from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .reporting import render_result, render_results, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "render_result",
+    "render_results",
+    "render_table",
+    "run_trials",
+]
+
+
+def run_experiment(experiment_id, settings=None):
+    """Run a registered experiment by id (lazy import to avoid cycles)."""
+
+    from .registry import run_experiment as _run
+
+    return _run(experiment_id, settings)
+
+
+def run_all(settings=None):
+    """Run every registered experiment (lazy import to avoid cycles)."""
+
+    from .registry import run_all as _run_all
+
+    return _run_all(settings)

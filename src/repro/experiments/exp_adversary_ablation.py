@@ -1,0 +1,88 @@
+"""E9 — adversary-strategy ablation (§2 discussion).
+
+Because every correct participant acts independently and uniformly at random
+in every slot, knowing the past gives Carol no edge: the protocol's costs
+should depend on *how much* she spends, not on *how cleverly* she schedules
+it (with the single exception of reactive sensing, handled by E7).  The
+ablation gives eight strategies the same spend cap and compares delivery, the
+delay they buy, and the per-device costs they force.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import aggregate_records
+from ..core.api import run_broadcast
+from ..simulation.config import SimulationConfig
+from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .workloads import ablation_roster
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
+
+EXPERIMENT_ID = "E9"
+TITLE = "Jamming-strategy ablation at equal spend"
+CLAIM = "The protocol yields no advantage to adaptive scheduling: at equal spend, all non-reactive strategies force comparable (and bounded) costs, and none defeats delivery"
+
+
+def run(settings: ExperimentSettings) -> ExperimentResult:
+    config = SimulationConfig(n=settings.n, k=2, f=1.0, seed=settings.seed)
+    spend_cap = config.adversary_total_budget / 4.0
+    roster = ablation_roster(spend_cap)
+    if settings.quick:
+        keep = ["none", "random", "continuous", "phase_blocker", "request_spoofer", "reactive"]
+        roster = {name: factory for name, factory in roster.items() if name in keep}
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=[
+            "strategy",
+            "T_spent",
+            "delivery_fraction",
+            "slots",
+            "alice_cost",
+            "node_max_cost",
+            "node_ratio",
+        ],
+    )
+
+    for name, factory in roster.items():
+        def trial(seed: int, factory=factory) -> dict:
+            outcome = run_broadcast(
+                n=settings.n,
+                k=2,
+                f=1.0,
+                seed=seed,
+                adversary=factory(),
+                engine=settings.engine,
+            )
+            return outcome.as_record()
+
+        records = run_trials(trial, settings, EXPERIMENT_ID, name)
+        summary = aggregate_records(records)
+        spent = summary["adversary_spend"].mean
+        node_max = summary["node_max_cost"].mean
+        # The competitive ratio is undefined when the strategy spends nothing
+        # (the "none" row); report it as 0 there rather than dropping the row.
+        node_ratio = node_max / spent if spent > 0 else 0.0
+        result.add_row(
+            strategy=name,
+            T_spent=spent,
+            delivery_fraction=summary["delivery_fraction"].mean,
+            slots=summary["slots"].mean,
+            alice_cost=summary["alice_cost"].mean,
+            node_max_cost=node_max,
+            node_ratio=node_ratio,
+        )
+
+    result.summaries["spend_cap"] = spend_cap
+    result.add_note(
+        "Phase blocking is the most slot-efficient way to convert spend into delay (it is the strategy "
+        "the analysis budgets for); oblivious strategies (random, bursty) waste energy on empty or "
+        "already-lost slots and buy less delay for the same T."
+    )
+    result.add_note(
+        "The reactive row shows why §4.1 exists: against the *plain* protocol reactivity suppresses "
+        "delivery at far lower spend — the decoy variant (E7) is the designed response."
+    )
+    return result

@@ -1,0 +1,97 @@
+"""E2 — delivery guarantee: at least (1-ε)n nodes receive m (Theorem 1, Lemma 8).
+
+Carol's strongest tool for leaving nodes uninformed is her n-uniform targeting
+(§2.3): block payload phases *for a chosen victim set only* so that the rest
+of the network terminates happily while the victims starve.  The experiment
+runs that splitter for a range of victim-set sizes and measures (a) how many
+nodes actually end up uninformed, and (b) what the attack costs Carol.  The
+paper's claim has two halves: absent such an attack everyone is informed, and
+even with it the uninformed fraction is bounded by a constant tied to ε'
+while Carol must spend a constant fraction of her entire budget.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import aggregate_records
+from ..core.api import run_broadcast
+from ..simulation.config import SimulationConfig
+from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .workloads import blocking_adversary, splitting_adversary
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
+
+EXPERIMENT_ID = "E2"
+TITLE = "Delivery fraction under worst-case n-uniform attacks"
+CLAIM = "At least (1-ε)n correct nodes receive m w.h.p.; stranding even an ε-fraction costs Carol a constant fraction of her total budget"
+
+
+def run(settings: ExperimentSettings) -> ExperimentResult:
+    config = SimulationConfig(n=settings.n, k=2, f=1.0, seed=settings.seed)
+    n = settings.n
+
+    scenarios = [
+        ("no attack", lambda: None, 0),
+        ("blocker (full budget)", lambda: blocking_adversary(None), 0),
+        ("split 2% of n", lambda: splitting_adversary(max(1, n // 50)), max(1, n // 50)),
+        ("split 10% of n", lambda: splitting_adversary(n // 10), n // 10),
+        ("split 25% of n", lambda: splitting_adversary(n // 4), n // 4),
+    ]
+    if settings.quick:
+        scenarios = scenarios[:4]
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=[
+            "scenario",
+            "target_uninformed",
+            "delivery_fraction",
+            "uninformed",
+            "carol_spend",
+            "carol_budget_fraction",
+            "meets_1_minus_eps",
+        ],
+    )
+
+    for label, factory, target in scenarios:
+        def trial(seed: int, factory=factory) -> dict:
+            adversary = factory()
+            outcome = run_broadcast(
+                n=settings.n,
+                k=2,
+                f=1.0,
+                seed=seed,
+                adversary=adversary if adversary is not None else "none",
+                engine=settings.engine,
+            )
+            record = outcome.as_record()
+            record["uninformed"] = float(outcome.config.n - outcome.delivery.informed)
+            record["budget_fraction"] = (
+                outcome.adversary_spend / outcome.config.adversary_total_budget
+            )
+            record["meets"] = float(outcome.meets_delivery_target())
+            return record
+
+        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+        summary = aggregate_records(records)
+        result.add_row(
+            scenario=label,
+            target_uninformed=target,
+            delivery_fraction=summary["delivery_fraction"].mean,
+            uninformed=summary["uninformed"].mean,
+            carol_spend=summary["adversary_spend"].mean,
+            carol_budget_fraction=summary["budget_fraction"].mean,
+            meets_1_minus_eps=summary["meets"].mean,
+        )
+
+    result.add_note(
+        "The splitter scenarios show the ε-loss mechanism of §2.3: victims can be stranded "
+        "only by jamming them in every payload phase until they give up, which consumes "
+        "most of Carol's aggregate budget regardless of how few victims she picks."
+    )
+    result.add_note(
+        "With ε' = 1/64 (the laptop-scale constant, see DESIGN.md) the strandable fraction "
+        "is larger than the paper's asymptotic ε but still bounded and paid for at full price."
+    )
+    return result

@@ -1,0 +1,100 @@
+"""Experiment harness.
+
+Every experiment in :mod:`repro.experiments` produces an
+:class:`ExperimentResult`: a titled table of rows (one per configuration or
+sweep point) plus free-form notes comparing the measurement against the
+paper's claim.  :class:`ExperimentSettings` centralises the knobs that every
+experiment shares — network size, number of repeated trials, base seed, and a
+``quick`` flag used by the pytest-benchmark harness to keep runtimes sensible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..simulation.rng import derive_seed
+
+__all__ = ["ExperimentSettings", "ExperimentResult", "run_trials"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared experiment knobs.
+
+    Attributes
+    ----------
+    n:
+        Number of correct nodes in each simulated network.
+    trials:
+        Number of independent seeds per sweep point.
+    seed:
+        Base seed; per-trial seeds are derived deterministically from it.
+    quick:
+        When ``True``, experiments shrink their sweeps (fewer points, smaller
+        ``n``) so that the full benchmark suite completes in minutes.  The
+        reproduced *shape* is unchanged; only statistical resolution drops.
+    engine:
+        Execution engine passed to the protocols (``"fast"`` or ``"slot"``).
+    """
+
+    n: int = 512
+    trials: int = 3
+    seed: int = 2012
+    quick: bool = True
+    engine: str = "fast"
+
+    def trial_seed(self, *labels: object) -> int:
+        """A deterministic seed for one trial of one sweep point."""
+
+        return derive_seed(self.seed, *labels)
+
+    def with_(self, **changes: object) -> "ExperimentSettings":
+        return replace(self, **changes)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment: a table plus interpretation notes."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    summaries: Dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column_values(self, column: str) -> List[float]:
+        """All numeric values recorded for a column, in row order."""
+
+        values: List[float] = []
+        for row in self.rows:
+            value = row.get(column)
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+        return values
+
+
+def run_trials(
+    trial_fn: Callable[[int], Dict[str, float]],
+    settings: ExperimentSettings,
+    *labels: object,
+) -> List[Dict[str, float]]:
+    """Run ``trial_fn`` once per trial with deterministic per-trial seeds.
+
+    ``trial_fn`` receives the seed for that trial and returns a flat record;
+    the list of records (one per trial) is returned for aggregation.
+    """
+
+    records: List[Dict[str, float]] = []
+    for trial_index in range(settings.trials):
+        seed = settings.trial_seed(*labels, trial_index)
+        records.append(trial_fn(seed))
+    return records

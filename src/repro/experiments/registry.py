@@ -1,0 +1,83 @@
+"""Experiment registry.
+
+Maps experiment ids (E1 … E10) to their runner functions so the benchmark
+harness, the examples, and EXPERIMENTS.md generation can iterate over every
+reproduced claim uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import (
+    exp_adversary_ablation,
+    exp_baseline_compare,
+    exp_cost_scaling,
+    exp_delivery,
+    exp_general_k,
+    exp_latency,
+    exp_load_balance,
+    exp_reactive,
+    exp_size_estimate,
+    exp_spoofing,
+)
+from .harness import ExperimentResult, ExperimentSettings
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata and runner for one registered experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    runner: Callable[[ExperimentSettings], ExperimentResult]
+
+
+_MODULES = [
+    exp_cost_scaling,
+    exp_delivery,
+    exp_latency,
+    exp_load_balance,
+    exp_baseline_compare,
+    exp_general_k,
+    exp_reactive,
+    exp_size_estimate,
+    exp_adversary_ablation,
+    exp_spoofing,
+]
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    module.EXPERIMENT_ID: ExperimentSpec(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        claim=module.CLAIM,
+        runner=module.run,
+    )
+    for module in _MODULES
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in numeric order."""
+
+    return sorted(EXPERIMENTS, key=lambda eid: int(eid.lstrip("E")))
+
+
+def run_experiment(experiment_id: str, settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Run one experiment by id."""
+
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; available: {experiment_ids()}")
+    settings = settings if settings is not None else ExperimentSettings()
+    return EXPERIMENTS[experiment_id].runner(settings)
+
+
+def run_all(settings: ExperimentSettings | None = None) -> List[ExperimentResult]:
+    """Run every registered experiment and return the results in order."""
+
+    settings = settings if settings is not None else ExperimentSettings()
+    return [run_experiment(eid, settings) for eid in experiment_ids()]

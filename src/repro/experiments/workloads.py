@@ -1,0 +1,128 @@
+"""Adversary scenario catalogue shared by the experiments.
+
+Each experiment needs adversaries configured consistently — in particular the
+cost-scaling experiments sweep "Carol spends (up to) T" scenarios, and the
+ablation experiment needs a roster of strategies normalised to the same spend
+cap.  Centralising the constructors here keeps experiment modules small and
+guarantees that two experiments asking for "a phase blocker with budget T"
+really get the same attacker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..adversary import (
+    Adversary,
+    BurstyJammer,
+    ContinuousJammer,
+    NullAdversary,
+    NUniformSplitAdversary,
+    PhaseBlockingAdversary,
+    RandomJammer,
+    ReactiveJammer,
+    RequestSpoofingAdversary,
+    SpoofingAdversary,
+)
+from ..simulation.config import SimulationConfig
+from ..simulation.phaseplan import PhaseKind
+
+__all__ = [
+    "spend_sweep",
+    "saturation_spend",
+    "blocking_adversary",
+    "ablation_roster",
+    "splitting_adversary",
+    "reactive_adversary",
+    "spoofing_adversary",
+]
+
+
+def saturation_spend(config: SimulationConfig) -> float:
+    """Adversary spend below which the protocol is still in its saturated regime.
+
+    In the first rounds the nodes' listening probability ``2/(ε'·2^i)`` clips
+    at one, so per-node cost simply tracks elapsed slots and the asymptotic
+    ``T^{1/(k+1)}`` shape is not yet visible.  Saturation ends once
+    ``2^i > 2/ε'``, i.e. once a blocked phase costs Carol about
+    ``(2/ε')^{1+1/k}`` slots; exponent fits should use spends above this
+    point.
+    """
+
+    return (2.0 / config.eps_prime) ** (1.0 + 1.0 / config.k)
+
+
+def spend_sweep(config: SimulationConfig, points: int = 5, quick: bool = True) -> List[float]:
+    """A geometric sweep of adversary spend caps ``T`` for a configuration.
+
+    The sweep spans from just below the saturation boundary (so the crossover
+    is visible) up to (most of) Carol's aggregate budget, which is the regime
+    where Theorem 1's ``T^{1/(k+1)}`` scaling is observable.
+    """
+
+    budget = config.adversary_total_budget
+    low = min(max(64.0, saturation_spend(config) / 2.0), budget / 8.0)
+    high = 0.9 * budget
+    if high <= low:
+        high = 2.0 * low
+    if quick:
+        points = min(points, 5)
+    if points < 2:
+        return [high]
+    ratio = (high / low) ** (1.0 / (points - 1))
+    return [low * ratio ** index for index in range(points)]
+
+
+def blocking_adversary(max_total_spend: Optional[float] = None) -> PhaseBlockingAdversary:
+    """The reference attacker of Lemma 10: block inform phases until broke."""
+
+    return PhaseBlockingAdversary(
+        kinds={PhaseKind.INFORM},
+        fraction=1.0,
+        max_total_spend=max_total_spend,
+    )
+
+
+def splitting_adversary(target_uninformed: int, max_total_spend: Optional[float] = None) -> NUniformSplitAdversary:
+    """The n-uniform splitter used by the delivery experiments (E2)."""
+
+    return NUniformSplitAdversary(
+        target_uninformed=target_uninformed,
+        max_total_spend=max_total_spend,
+    )
+
+
+def reactive_adversary(max_total_spend: Optional[float] = None) -> ReactiveJammer:
+    """A reactive jammer that drains its budget on payload-carrying phases."""
+
+    return ReactiveJammer(phase_budget_fraction=0.5, max_total_spend=max_total_spend)
+
+
+def spoofing_adversary(max_total_spend: Optional[float] = None) -> RequestSpoofingAdversary:
+    """The request-phase spoofer of §2.2 (E10)."""
+
+    return RequestSpoofingAdversary(
+        fraction=1.0,
+        use_spoofed_nacks=True,
+        max_total_spend=max_total_spend,
+    )
+
+
+def ablation_roster(max_total_spend: float) -> Dict[str, Callable[[], Adversary]]:
+    """Strategy roster for the adversary-ablation experiment (E9).
+
+    Every entry is a zero-argument factory so each trial gets a fresh strategy
+    with the same spend cap.
+    """
+
+    return {
+        "none": lambda: NullAdversary(),
+        "random": lambda: RandomJammer(rate=0.5, max_total_spend=max_total_spend),
+        "bursty": lambda: BurstyJammer(burst_length=64, period=128, max_total_spend=max_total_spend),
+        "continuous": lambda: ContinuousJammer(max_total_spend=max_total_spend),
+        "phase_blocker": lambda: blocking_adversary(max_total_spend),
+        "request_spoofer": lambda: spoofing_adversary(max_total_spend),
+        "spoofing": lambda: SpoofingAdversary(max_total_spend=max_total_spend),
+        "reactive": lambda: reactive_adversary(max_total_spend),
+    }

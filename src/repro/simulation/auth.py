@@ -1,0 +1,81 @@
+"""Authentication model.
+
+The paper assumes a *partially authenticated* Byzantine model: Alice's public
+key is known to every receiver, so frames carrying the broadcast message ``m``
+can be verified, while every other identity — in particular correct nodes
+sending nacks — can be spoofed by Carol.
+
+We model exactly that consequence.  The :class:`Authenticator` holds a private
+signing capability for Alice only; it can sign payloads and verify frames.
+Byzantine devices can construct :class:`~repro.simulation.messages.Message`
+frames of kind ``SPOOFED_PAYLOAD`` but cannot obtain a valid signature, so
+``verify`` rejects them, matching the paper's "attempts to tamper with m or
+spoof Alice can be detected".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from .errors import AuthenticationError
+from .messages import Message, MessageKind
+
+__all__ = ["Authenticator", "ALICE_ID"]
+
+ALICE_ID = -1
+"""Reserved device identifier for Alice, the trusted sender."""
+
+
+class Authenticator:
+    """Signs and verifies Alice's broadcast payloads.
+
+    Parameters
+    ----------
+    secret:
+        Secret keying material.  Only the entity holding the
+        :class:`Authenticator` instance (the simulation harness, acting on
+        Alice's behalf) can produce valid signatures; adversary code is only
+        ever handed the :meth:`verify` capability via the public key, mirroring
+        the paper's assumption that only Alice's key is disseminated.
+    """
+
+    def __init__(self, secret: str = "alice-secret") -> None:
+        if not secret:
+            raise AuthenticationError("authenticator secret must be non-empty")
+        self._secret = secret
+
+    def sign(self, payload: Any, sender_id: int = ALICE_ID) -> str:
+        """Produce a signature binding ``payload`` to Alice's identity.
+
+        Only Alice (``sender_id == ALICE_ID``) may sign; any other identity
+        raises :class:`AuthenticationError`, modelling the fact that Carol
+        cannot forge Alice's signature.
+        """
+
+        if sender_id != ALICE_ID:
+            raise AuthenticationError(
+                f"device {sender_id} attempted to sign as Alice; only Alice holds the signing key"
+            )
+        return self._digest(payload)
+
+    def verify(self, message: Message) -> bool:
+        """Return ``True`` iff ``message`` is an authentic copy of Alice's payload.
+
+        Relayed copies of ``m`` sent by informed correct nodes carry Alice's
+        original signature, so they verify even though the relaying sender is
+        not Alice — exactly the property the propagation phase needs.
+        """
+
+        if message.kind is not MessageKind.PAYLOAD:
+            return False
+        if message.signature is None:
+            return False
+        return message.signature == self._digest(message.payload)
+
+    def _digest(self, payload: Any) -> str:
+        raw = f"{self._secret}|{payload!r}".encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Authenticator(<secret hidden>)"

@@ -1,0 +1,164 @@
+"""Single-channel collision and jamming semantics.
+
+The channel resolves, for every listener, what it perceives in a slot given
+
+* the set of frames transmitted in that slot,
+* the adversary's jamming decision, which — because Carol is an *n-uniform*
+  adversary — may apply to some listeners and not others.
+
+The rules implemented here are exactly the paper's model (§1.1):
+
+* two or more simultaneous transmissions collide; every listener hears noise;
+* jamming is indistinguishable from a collision, and any data received in a
+  jammed slot is discarded;
+* the absence of channel activity cannot be forged: a slot is silent for a
+  listener only if nobody transmitted *and* that listener was not jammed;
+* a listener cannot hear its own transmission (senders never appear among
+  listeners for the same slot).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence
+
+from .errors import ProtocolViolationError
+from .messages import Message
+from .observation import Observation
+
+__all__ = ["JamTargeting", "JamMode", "Channel", "SlotResolution"]
+
+
+class JamMode(enum.Enum):
+    """How a jamming action selects its victims (n-uniform targeting)."""
+
+    NONE = "none"
+    ALL = "all"
+    ONLY = "only"
+    EXCEPT = "except"
+
+
+@dataclass(frozen=True)
+class JamTargeting:
+    """The adversary's per-slot, per-listener jamming decision.
+
+    ``ALL`` jams every listener; ``ONLY`` jams exactly the listeners in
+    ``nodes``; ``EXCEPT`` jams everyone *except* those in ``nodes`` (this is
+    how an n-uniform Carol "decides which nodes receive m" during a blocked
+    phase); ``NONE`` jams nobody.  Alice is addressed by her device id (-1)
+    like any other listener.
+    """
+
+    mode: JamMode = JamMode.NONE
+    nodes: frozenset = field(default_factory=frozenset)
+
+    @staticmethod
+    def none() -> "JamTargeting":
+        return JamTargeting(JamMode.NONE)
+
+    @staticmethod
+    def everyone() -> "JamTargeting":
+        return JamTargeting(JamMode.ALL)
+
+    @staticmethod
+    def only(nodes: Iterable[int]) -> "JamTargeting":
+        return JamTargeting(JamMode.ONLY, frozenset(nodes))
+
+    @staticmethod
+    def sparing(nodes: Iterable[int]) -> "JamTargeting":
+        """Jam everyone except ``nodes`` (the n-uniform "spare a set" move)."""
+
+        return JamTargeting(JamMode.EXCEPT, frozenset(nodes))
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this decision jams at least one potential listener."""
+
+        return self.mode is not JamMode.NONE
+
+    def affects(self, listener_id: int) -> bool:
+        """Whether ``listener_id`` perceives jamming under this decision."""
+
+        if self.mode is JamMode.NONE:
+            return False
+        if self.mode is JamMode.ALL:
+            return True
+        if self.mode is JamMode.ONLY:
+            return listener_id in self.nodes
+        return listener_id not in self.nodes
+
+
+@dataclass(frozen=True)
+class SlotResolution:
+    """The outcome of one slot: per-listener observations plus channel facts."""
+
+    observations: Mapping[int, Observation]
+    transmission_count: int
+    jammed_any: bool
+
+    @property
+    def busy(self) -> bool:
+        """Whether the slot carried any transmission or jamming energy."""
+
+        return self.transmission_count > 0 or self.jammed_any
+
+
+class Channel:
+    """The shared single communication channel."""
+
+    def resolve_slot(
+        self,
+        transmissions: Sequence[Message],
+        listeners: Iterable[int],
+        jam: JamTargeting,
+        slot: int = -1,
+        senders: Iterable[int] = (),
+    ) -> SlotResolution:
+        """Resolve what every listener perceives in one slot.
+
+        Parameters
+        ----------
+        transmissions:
+            Frames transmitted this slot (one per transmitting device).
+        listeners:
+            Device ids listening this slot.  A device both sending and
+            listening is a protocol violation (half-duplex radios).
+        jam:
+            The adversary's :class:`JamTargeting` for this slot.
+        slot:
+            Global slot index recorded on the observations (for traces).
+        senders:
+            Device ids of the transmitters, used only for the half-duplex
+            sanity check; Byzantine transmitters may be omitted.
+        """
+
+        sender_set = set(senders)
+        listener_set = set(listeners)
+        overlap = sender_set & listener_set
+        if overlap:
+            raise ProtocolViolationError(
+                f"devices {sorted(overlap)} attempted to send and listen in the same slot"
+            )
+
+        count = len(transmissions)
+        observations: Dict[int, Observation] = {}
+        for listener in listener_set:
+            jammed = jam.affects(listener)
+            if count == 0:
+                observations[listener] = (
+                    Observation.noise(slot) if jammed else Observation.silent(slot)
+                )
+            elif count == 1:
+                observations[listener] = (
+                    Observation.noise(slot)
+                    if jammed
+                    else Observation.of_message(transmissions[0], slot)
+                )
+            else:
+                observations[listener] = Observation.noise(slot)
+        return SlotResolution(
+            observations=observations,
+            transmission_count=count,
+            jammed_any=jam.is_active,
+        )

@@ -1,0 +1,93 @@
+"""Discrete slot clock.
+
+Time in the paper is divided into slots grouped into *phases* grouped into
+*rounds*.  :class:`SlotClock` tracks the global slot index plus the current
+(round, phase) labels so that traces, metrics, and adversary observations can
+all refer to a consistent notion of "when".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .errors import SimulationError
+
+__all__ = ["SlotClock", "PhaseWindow"]
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """The slot interval ``[start, end)`` occupied by one executed phase."""
+
+    round_index: int
+    phase_name: str
+    start: int
+    end: int
+
+    @property
+    def num_slots(self) -> int:
+        return self.end - self.start
+
+    def contains(self, slot: int) -> bool:
+        return self.start <= slot < self.end
+
+
+class SlotClock:
+    """Monotone global slot counter with round/phase bookkeeping."""
+
+    def __init__(self) -> None:
+        self._slot = 0
+        self._windows: List[PhaseWindow] = []
+        self._open: Optional[Tuple[int, str, int]] = None
+
+    @property
+    def now(self) -> int:
+        """The index of the next slot to execute (0-based)."""
+
+        return self._slot
+
+    @property
+    def windows(self) -> Tuple[PhaseWindow, ...]:
+        """All completed phase windows, in execution order."""
+
+        return tuple(self._windows)
+
+    def begin_phase(self, round_index: int, phase_name: str) -> None:
+        """Mark the start of a phase at the current slot."""
+
+        if self._open is not None:
+            raise SimulationError(
+                f"cannot begin phase {phase_name!r}: phase {self._open[1]!r} is still open"
+            )
+        self._open = (round_index, phase_name, self._slot)
+
+    def advance(self, slots: int = 1) -> int:
+        """Advance the clock by ``slots`` slots and return the new time."""
+
+        if slots < 0:
+            raise SimulationError(f"cannot advance the clock by a negative amount ({slots})")
+        self._slot += slots
+        return self._slot
+
+    def end_phase(self) -> PhaseWindow:
+        """Close the currently open phase and record its window."""
+
+        if self._open is None:
+            raise SimulationError("cannot end a phase: no phase is open")
+        round_index, phase_name, start = self._open
+        window = PhaseWindow(round_index=round_index, phase_name=phase_name, start=start, end=self._slot)
+        self._windows.append(window)
+        self._open = None
+        return window
+
+    def phase_of(self, slot: int) -> Optional[PhaseWindow]:
+        """Return the phase window containing ``slot``, if any."""
+
+        for window in self._windows:
+            if window.contains(slot):
+                return window
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotClock(now={self._slot}, phases={len(self._windows)})"

@@ -1,0 +1,166 @@
+"""Energy accounting.
+
+Energy is the central resource of the paper: sending, listening, jamming, or
+altering a message each cost one unit, while sleeping is free.  The
+:class:`EnergyLedger` records per-operation expenditure for a device, and can
+optionally *enforce* the budget (used for Carol, whose jamming must stop when
+her budget is exhausted) or merely *record* it (used for correct devices, whose
+budget sufficiency is a theorem we check rather than a constraint we impose).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .errors import BudgetExceededError, ConfigurationError
+
+__all__ = ["EnergyOperation", "EnergyLedger", "BudgetPolicy"]
+
+
+class EnergyOperation(enum.Enum):
+    """The unit-cost operations of the paper's cost model."""
+
+    SEND = "send"
+    LISTEN = "listen"
+    JAM = "jam"
+    SPOOF = "spoof"
+
+    @property
+    def unit_cost(self) -> float:
+        """All modelled operations cost exactly one unit (sleeping is free)."""
+
+        return 1.0
+
+
+class BudgetPolicy(enum.Enum):
+    """How a ledger reacts when expenditure would exceed the budget."""
+
+    RECORD = "record"
+    """Record the overdraft but allow it (used for correct devices)."""
+
+    ENFORCE = "enforce"
+    """Refuse the operation by raising :class:`BudgetExceededError`."""
+
+    CAP = "cap"
+    """Silently refuse the operation and report failure to the caller."""
+
+
+@dataclass
+class EnergyLedger:
+    """Per-device energy ledger.
+
+    Parameters
+    ----------
+    owner:
+        Human-readable owner label used in error messages (e.g. ``"node:17"``).
+    budget:
+        The device's energy budget.  ``math.inf`` disables budget pressure.
+    policy:
+        What to do when an operation would push expenditure past the budget.
+    """
+
+    owner: str
+    budget: float
+    policy: BudgetPolicy = BudgetPolicy.RECORD
+    _spent: float = field(default=0.0, init=False)
+    _by_operation: Dict[EnergyOperation, float] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ConfigurationError(f"budget for {self.owner!r} must be non-negative, got {self.budget}")
+
+    @property
+    def spent(self) -> float:
+        """Total energy spent so far."""
+
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget minus expenditure (never negative under CAP/ENFORCE)."""
+
+        return max(self.budget - self._spent, 0.0)
+
+    @property
+    def exhausted(self) -> bool:
+        """``True`` once the device can no longer afford a unit-cost operation."""
+
+        return self.remaining < 1.0 and not math.isinf(self.budget)
+
+    @property
+    def overdraft(self) -> float:
+        """How far expenditure exceeds the budget (0 when within budget)."""
+
+        return max(self._spent - self.budget, 0.0)
+
+    def spent_on(self, operation: EnergyOperation) -> float:
+        """Energy spent on a particular operation kind."""
+
+        return self._by_operation.get(operation, 0.0)
+
+    def can_afford(self, units: float = 1.0) -> bool:
+        """Whether ``units`` more energy can be spent without exceeding the budget."""
+
+        if math.isinf(self.budget):
+            return True
+        return self._spent + units <= self.budget + 1e-9
+
+    def charge(self, operation: EnergyOperation, units: float = 1.0) -> bool:
+        """Charge ``units`` of ``operation`` to this ledger.
+
+        Returns ``True`` if the expenditure was applied and ``False`` if it was
+        refused (only possible under :attr:`BudgetPolicy.CAP`).  Under
+        :attr:`BudgetPolicy.ENFORCE` an unaffordable charge raises
+        :class:`BudgetExceededError`.
+        """
+
+        if units < 0:
+            raise ConfigurationError(f"cannot charge negative energy ({units}) to {self.owner!r}")
+        if units == 0:
+            return True
+        if not self.can_afford(units):
+            if self.policy is BudgetPolicy.ENFORCE:
+                raise BudgetExceededError(self.owner, self.budget, self._spent + units)
+            if self.policy is BudgetPolicy.CAP:
+                return False
+        self._spent += units
+        self._by_operation[operation] = self._by_operation.get(operation, 0.0) + units
+        return True
+
+    def charge_bulk(self, operation: EnergyOperation, units: float) -> float:
+        """Charge up to ``units`` of ``operation``, capping at the budget.
+
+        Used by the vectorised engine, which knows in aggregate how many slots
+        a device used in a phase.  Returns the number of units actually
+        charged (which is less than ``units`` only under CAP/ENFORCE when the
+        budget binds; ENFORCE still raises if *any* overdraft would occur).
+        """
+
+        if units < 0:
+            raise ConfigurationError(f"cannot charge negative energy ({units}) to {self.owner!r}")
+        if units == 0:
+            return 0.0
+        if not self.can_afford(units):
+            if self.policy is BudgetPolicy.ENFORCE:
+                raise BudgetExceededError(self.owner, self.budget, self._spent + units)
+            if self.policy is BudgetPolicy.CAP:
+                units = self.remaining
+                if units <= 0:
+                    return 0.0
+        self._spent += units
+        self._by_operation[operation] = self._by_operation.get(operation, 0.0) + units
+        return units
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict summary suitable for metrics and reports."""
+
+        summary = {"spent": self._spent, "budget": self.budget, "overdraft": self.overdraft}
+        for operation in EnergyOperation:
+            summary[operation.value] = self._by_operation.get(operation, 0.0)
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnergyLedger(owner={self.owner!r}, spent={self._spent:g}, budget={self.budget:g})"

@@ -1,0 +1,96 @@
+"""Materialising a :class:`~repro.simulation.phaseplan.JamPlan` into concrete slots.
+
+Both engines share this logic so that a given adversary strategy produces the
+same *kind* of attack regardless of which engine executes it:
+
+* explicit ``slot_indices`` are used verbatim (clipped to the phase length);
+* a ``jam_rate`` is realised as independent per-slot coin flips;
+* a ``num_jam_slots`` count is realised as a uniformly random subset of the
+  phase's slots — or, for *reactive* plans, as the earliest slots that carry
+  correct-side channel activity (the reactive jammer senses the channel within
+  the slot and only spends energy when there is something to disrupt).
+
+Budget capping is applied by the caller (the engines), because only they know
+how much of Carol's aggregate budget remains at the moment of each attack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .phaseplan import JamPlan
+
+__all__ = ["materialize_jam_slots", "materialize_spoof_slots"]
+
+
+def materialize_jam_slots(
+    plan: JamPlan,
+    num_slots: int,
+    rng: np.random.Generator,
+    activity_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Return the sorted slot offsets (0-based within the phase) to jam.
+
+    Parameters
+    ----------
+    plan:
+        The adversary's committed plan.
+    num_slots:
+        Length of the phase.
+    rng:
+        Random generator used for rate-based and random-subset selection.
+    activity_mask:
+        For reactive plans, a boolean array of length ``num_slots`` marking
+        slots that carry correct-side transmissions.  Required when
+        ``plan.reactive`` is set and the plan selects by count or rate.
+    """
+
+    if num_slots <= 0:
+        return np.empty(0, dtype=np.int64)
+
+    if plan.slot_indices is not None:
+        indices = np.unique(np.asarray(plan.slot_indices, dtype=np.int64))
+        return indices[(indices >= 0) & (indices < num_slots)]
+
+    if plan.reactive:
+        if activity_mask is None:
+            raise ValueError("reactive jam plans require an activity mask")
+        active = np.flatnonzero(np.asarray(activity_mask, dtype=bool))
+        if plan.jam_rate is not None:
+            keep = rng.random(active.size) < plan.jam_rate
+            return active[keep]
+        count = min(plan.num_jam_slots, active.size)
+        return active[:count]
+
+    if plan.jam_rate is not None:
+        mask = rng.random(num_slots) < plan.jam_rate
+        return np.flatnonzero(mask)
+
+    count = min(plan.num_jam_slots, num_slots)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(num_slots, size=count, replace=False))
+
+
+def materialize_spoof_slots(
+    count: int,
+    num_slots: int,
+    rng: np.random.Generator,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """Pick ``count`` distinct slots for Byzantine spoofed transmissions.
+
+    ``exclude`` lists slots that should not be chosen (e.g. slots already
+    being jammed — jamming and spoofing the same slot would waste energy).
+    """
+
+    if count <= 0 or num_slots <= 0:
+        return np.empty(0, dtype=np.int64)
+    excluded = set(int(x) for x in exclude)
+    candidates = np.array([s for s in range(num_slots) if s not in excluded], dtype=np.int64)
+    if candidates.size == 0:
+        return np.empty(0, dtype=np.int64)
+    chosen = min(count, candidates.size)
+    return np.sort(rng.choice(candidates, size=chosen, replace=False))

@@ -1,0 +1,123 @@
+"""Device abstractions.
+
+A *device* is anything with a radio and an energy budget: Alice, a correct
+node, or one of Carol's Byzantine devices.  Protocol-level state (informed,
+terminated, ...) lives in :mod:`repro.core.state`; this module only models the
+physical device — identity, role, and energy ledger — which is all the
+simulation substrate needs to know about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .energy import BudgetPolicy, EnergyLedger
+
+__all__ = ["Role", "Device", "SlotAction", "ActionKind"]
+
+
+class Role(enum.Enum):
+    """Which side of the Alice-versus-Carol game a device plays on."""
+
+    ALICE = "alice"
+    CORRECT = "correct"
+    BYZANTINE = "byzantine"
+
+
+class ActionKind(enum.Enum):
+    """The possible radio actions a device can take in one slot."""
+
+    SLEEP = "sleep"
+    SEND = "send"
+    LISTEN = "listen"
+    JAM = "jam"
+
+
+@dataclass(frozen=True)
+class SlotAction:
+    """A single device's action for a single slot.
+
+    ``payload`` carries the :class:`~repro.simulation.messages.Message` being
+    transmitted when ``kind`` is ``SEND``; it is ``None`` otherwise.
+    """
+
+    kind: ActionKind
+    payload: Optional[object] = None
+
+    @staticmethod
+    def sleep() -> "SlotAction":
+        return SlotAction(ActionKind.SLEEP)
+
+    @staticmethod
+    def listen() -> "SlotAction":
+        return SlotAction(ActionKind.LISTEN)
+
+    @staticmethod
+    def send(message: object) -> "SlotAction":
+        return SlotAction(ActionKind.SEND, payload=message)
+
+    @staticmethod
+    def jam() -> "SlotAction":
+        return SlotAction(ActionKind.JAM)
+
+
+@dataclass
+class Device:
+    """A radio device participating in the network.
+
+    Attributes
+    ----------
+    device_id:
+        Integer identity.  Correct nodes use ``0 .. n-1``; Alice uses ``-1``;
+        Byzantine devices are not individually instantiated (Carol's side is
+        accounted in aggregate by the adversary's ledger).
+    role:
+        The :class:`Role` of the device.
+    ledger:
+        The device's :class:`~repro.simulation.energy.EnergyLedger`.
+    label:
+        Human-readable name used in traces and error messages.
+    """
+
+    device_id: int
+    role: Role
+    ledger: EnergyLedger
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = f"{self.role.value}:{self.device_id}"
+
+    @classmethod
+    def alice(cls, budget: float, policy: BudgetPolicy = BudgetPolicy.RECORD) -> "Device":
+        """Construct Alice with the given budget."""
+
+        from .auth import ALICE_ID
+
+        return cls(
+            device_id=ALICE_ID,
+            role=Role.ALICE,
+            ledger=EnergyLedger(owner="alice", budget=budget, policy=policy),
+            label="alice",
+        )
+
+    @classmethod
+    def correct(cls, device_id: int, budget: float, policy: BudgetPolicy = BudgetPolicy.RECORD) -> "Device":
+        """Construct a correct node with the given budget."""
+
+        return cls(
+            device_id=device_id,
+            role=Role.CORRECT,
+            ledger=EnergyLedger(owner=f"node:{device_id}", budget=budget, policy=policy),
+        )
+
+    @property
+    def cost(self) -> float:
+        """Total energy this device has spent."""
+
+        return self.ledger.spent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.label}, spent={self.ledger.spent:g}/{self.ledger.budget:g})"

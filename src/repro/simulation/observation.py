@@ -1,0 +1,77 @@
+"""What a listening device perceives in a slot.
+
+The paper's channel model (clear channel assessment, CCA) exposes three
+observable outcomes to a listener:
+
+* **silence** — nobody transmitted and the listener was not jammed;
+* **noise** — a collision (two or more transmissions), jamming, or an
+  undecodable frame; jamming is indistinguishable from collisions;
+* **a message** — exactly one transmission reached the listener unjammed.
+
+Silence cannot be forged: if any device transmits (or jams), every listener
+perceives at least noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .messages import Message
+
+__all__ = ["ChannelState", "Observation"]
+
+
+class ChannelState(enum.Enum):
+    """The CCA-level outcome a listener perceives in one slot."""
+
+    SILENT = "silent"
+    NOISE = "noise"
+    MESSAGE = "message"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The full observation delivered to one listener for one slot.
+
+    Attributes
+    ----------
+    state:
+        The CCA-level :class:`ChannelState`.
+    message:
+        The decoded frame, present only when :attr:`state` is ``MESSAGE``.
+    slot:
+        Global slot index the observation belongs to.
+    """
+
+    state: ChannelState
+    message: Optional[Message] = None
+    slot: int = -1
+
+    @property
+    def is_noisy(self) -> bool:
+        """``True`` when the slot is busy: noise *or* a decodable message.
+
+        The request-phase termination rule counts "noisy slots", which in the
+        paper means slots with channel activity; a successfully decoded nack
+        is activity too.
+        """
+
+        return self.state in (ChannelState.NOISE, ChannelState.MESSAGE)
+
+    @property
+    def is_silent(self) -> bool:
+        return self.state is ChannelState.SILENT
+
+    @staticmethod
+    def silent(slot: int = -1) -> "Observation":
+        return Observation(state=ChannelState.SILENT, slot=slot)
+
+    @staticmethod
+    def noise(slot: int = -1) -> "Observation":
+        return Observation(state=ChannelState.NOISE, slot=slot)
+
+    @staticmethod
+    def of_message(message: Message, slot: int = -1) -> "Observation":
+        return Observation(state=ChannelState.MESSAGE, message=message, slot=slot)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Network, RandomSource, SimulationConfig
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A small but non-trivial configuration used across unit tests."""
+
+    return SimulationConfig(n=64, f=1.0, k=2, epsilon=0.1, seed=1234)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """The smallest configuration worth simulating (fast slot-engine tests)."""
+
+    return SimulationConfig(n=16, f=0.5, k=2, epsilon=0.2, seed=99)
+
+
+@pytest.fixture
+def medium_config() -> SimulationConfig:
+    """A configuration large enough for statistical/integration assertions."""
+
+    return SimulationConfig(n=256, f=1.0, k=2, epsilon=0.1, seed=7)
+
+
+@pytest.fixture
+def small_network(small_config: SimulationConfig) -> Network:
+    return Network(small_config)
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(2012)

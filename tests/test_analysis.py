@@ -1,0 +1,219 @@
+"""Tests for the analysis utilities (bounds, concentration, fitting, stats)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CompetitivenessReport,
+    TrialSummary,
+    aggregate_records,
+    analyze_outcomes,
+    binomial_confidence_radius,
+    blocking_round,
+    bounded_difference_tail,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    cost_exponent,
+    expected_unique_successes,
+    fact1_lower_bound,
+    fit_power_law,
+    fit_power_law_with_offset,
+    fraction_meeting,
+    latency_bound,
+    no_jamming_alice_cost_bound,
+    no_jamming_node_cost_bound,
+    predict,
+    predicted_alice_cost,
+    predicted_node_cost,
+    reactive_f_threshold,
+    summarize,
+    summarize_ratios,
+)
+from repro.core.api import run_broadcast
+from repro.simulation import SimulationConfig
+
+
+class TestBounds:
+    def test_cost_exponent(self):
+        assert cost_exponent(2) == pytest.approx(1 / 3)
+        assert cost_exponent(4) == pytest.approx(1 / 5)
+        with pytest.raises(ValueError):
+            cost_exponent(1)
+
+    def test_predicted_costs_monotone_in_T(self):
+        assert predicted_node_cost(1000, 256) > predicted_node_cost(100, 256)
+        assert predicted_alice_cost(1000, 256) > predicted_alice_cost(100, 256)
+
+    def test_no_jamming_bounds_are_polylog(self):
+        assert no_jamming_alice_cost_bound(10**6) < 10**6
+        assert no_jamming_node_cost_bound(10**6) < 10**3
+
+    def test_latency_bound(self):
+        assert latency_bound(100, 2) == pytest.approx(1000.0)
+
+    def test_blocking_round_grows_with_n_and_f(self):
+        small = blocking_round(SimulationConfig(n=256, f=1.0))
+        large_n = blocking_round(SimulationConfig(n=1024, f=1.0))
+        large_f = blocking_round(SimulationConfig(n=256, f=4.0))
+        assert large_n > small
+        assert large_f > small
+        with pytest.raises(ValueError):
+            blocking_round(SimulationConfig(n=256), beta=0.0)
+
+    def test_reactive_threshold(self):
+        assert reactive_f_threshold() == pytest.approx(1 / 24)
+
+    def test_predict_bundle(self):
+        config = SimulationConfig(n=256, epsilon=0.2)
+        prediction = predict(config, T=1000.0)
+        assert prediction.delivery_fraction_bound == pytest.approx(0.8)
+        assert prediction.scaled(2.0).node_cost_bound == pytest.approx(2 * prediction.node_cost_bound)
+
+
+class TestConcentration:
+    def test_chernoff_tails_decrease_with_mean(self):
+        assert chernoff_upper_tail(100, 0.5) < chernoff_upper_tail(10, 0.5)
+        assert chernoff_lower_tail(100, 0.5) < chernoff_lower_tail(10, 0.5)
+
+    def test_chernoff_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 2.0)
+
+    def test_bounded_difference_matches_paper_form(self):
+        # With all c_i = 1 the bound is exp(-λ² / 2ℓ).
+        tail = bounded_difference_tail(10.0, [1.0] * 50)
+        assert tail == pytest.approx(math.exp(-100.0 / 100.0))
+
+    def test_bounded_difference_degenerate(self):
+        assert bounded_difference_tail(1.0, []) == 0.0
+        assert bounded_difference_tail(0.0, []) == 1.0
+
+    def test_fact1(self):
+        for y in (0.0, 0.1, 0.5):
+            assert 1 - y >= fact1_lower_bound(y)
+        with pytest.raises(ValueError):
+            fact1_lower_bound(0.6)
+
+    def test_binomial_radius(self):
+        assert binomial_confidence_radius(100, 0.5) == pytest.approx(4 * 5.0)
+        assert binomial_confidence_radius(0, 0.5) == 0.0
+
+    def test_expected_unique_successes(self):
+        assert expected_unique_successes(100, 0.0, 10) == 0.0
+        assert expected_unique_successes(100, 1.0, 1) == 100.0
+        mid = expected_unique_successes(100, 0.01, 100)
+        assert 60 < mid < 67  # 100 * (1 - 0.99^100) ≈ 63.4
+
+
+class TestFitting:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 100, 1000, 10_000]
+        ys = [3 * x ** 0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-6)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_offset_power_law_recovered(self):
+        xs = [100, 400, 1600, 6400, 25_600]
+        ys = [500 + 2 * x ** (1 / 3) for x in xs]
+        fit = fit_power_law_with_offset(xs, ys)
+        assert fit.exponent == pytest.approx(1 / 3, abs=0.08)
+        assert fit.offset > 0
+
+    def test_prediction_roundtrip(self):
+        fit = fit_power_law([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 0])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2, 3])
+
+    def test_noisy_fit_reports_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(1, 4, 12)
+        ys = 5 * xs ** 0.4 * rng.uniform(0.8, 1.2, size=xs.size)
+        fit = fit_power_law(xs, ys)
+        assert 0.3 < fit.exponent < 0.5
+        assert fit.r_squared < 1.0
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize("x", [1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        low, high = summary.confidence_interval()
+        assert low < 2.0 < high
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", [])
+
+    def test_single_value_has_zero_stderr(self):
+        assert summarize("x", [5.0]).stderr == 0.0
+
+    def test_aggregate_records_skips_non_finite(self):
+        records = [{"a": 1.0, "b": float("inf")}, {"a": 3.0, "b": 2.0}]
+        summaries = aggregate_records(records)
+        assert summaries["a"].mean == 2.0
+        assert summaries["b"].count == 1
+
+    def test_aggregate_records_empty(self):
+        assert aggregate_records([]) == {}
+
+    def test_fraction_meeting(self):
+        assert fraction_meeting([0.9, 0.95, 0.5], lambda v: v >= 0.9) == pytest.approx(2 / 3)
+        assert fraction_meeting([], lambda v: True) == 0.0
+
+
+class TestCompetitivenessReport:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        from repro.adversary import PhaseBlockingAdversary
+
+        results = []
+        for cap in (500, 4_000, 16_000, 60_000):
+            results.append(
+                run_broadcast(
+                    n=128, seed=31, adversary=PhaseBlockingAdversary(max_total_spend=cap)
+                )
+            )
+        return results
+
+    def test_report_structure(self, outcomes):
+        report = analyze_outcomes(outcomes)
+        assert report.protocol == "epsilon-broadcast"
+        assert report.predicted_exponent == pytest.approx(1 / 3)
+        assert len(report.adversary_spends) == 4
+        assert report.alice_fit is not None and report.node_fit is not None
+        assert len(report.lines()) >= 2
+
+    def test_measured_exponent_is_strongly_sublinear(self, outcomes):
+        report = analyze_outcomes(outcomes)
+        assert report.node_exponent is not None
+        assert report.node_exponent < 0.85
+        assert report.exponent_gap() is not None
+
+    def test_empty_outcomes_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_outcomes([])
+
+    def test_summarize_ratios(self, outcomes):
+        summary = summarize_ratios(outcomes)
+        assert summary["runs"] == 4
+        assert summary["delivery_fraction_min"] >= 0.9
+        assert summary["node_ratio_max"] < 5.0
+
+    def test_summarize_ratios_empty(self):
+        assert summarize_ratios([]) == {}

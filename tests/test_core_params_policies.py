@@ -1,0 +1,184 @@
+"""Unit tests for protocol parameters and the Alice/receiver policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ProtocolParameters
+from repro.core.alice import AlicePolicy
+from repro.core.receiver import ReceiverPolicy
+from repro.simulation import ConfigurationError, SimulationConfig
+
+
+class TestProtocolParameters:
+    def test_defaults_match_lemma_11(self):
+        params = ProtocolParameters(k=2)
+        assert params.a_value == pytest.approx(0.5)
+        assert params.b_value == 1.0
+
+    def test_general_k_a_value(self):
+        assert ProtocolParameters(k=4).a_value == pytest.approx(0.25)
+
+    def test_explicit_a_override(self):
+        assert ProtocolParameters(k=2, a=0.4).a_value == 0.4
+
+    @pytest.mark.parametrize("field,value", [
+        ("k", 1),
+        ("a", 1.5),
+        ("b", 0.0),
+        ("c", -1.0),
+        ("epsilon_prime", 0.0),
+        ("start_round", 0),
+        ("min_termination_round", 0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(**{field: value})
+
+    def test_max_round_before_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParameters(start_round=5, max_round=4)
+
+    def test_phase_length_grows_geometrically(self):
+        params = ProtocolParameters(k=2)
+        assert params.phase_length(4) == pytest.approx(2 ** 6, abs=1)
+        assert params.phase_length(6) / params.phase_length(4) == pytest.approx(8.0, rel=0.01)
+
+    def test_request_phase_length_k2(self):
+        params = ProtocolParameters(k=2)
+        assert params.request_phase_length(4) == pytest.approx(2 ** 6, abs=1)
+
+    def test_resolved_round_window(self):
+        params = ProtocolParameters(k=2)
+        n = 1024
+        assert params.resolved_min_termination_round(n) >= 3
+        assert params.resolved_max_round(n) >= math.log2(n)
+
+    def test_explicit_round_window_respected(self):
+        params = ProtocolParameters(min_termination_round=5, max_round=9)
+        assert params.resolved_min_termination_round(4096) == 5
+        assert params.resolved_max_round(4096) == 9
+
+    def test_termination_threshold(self):
+        params = ProtocolParameters(c=2.0)
+        assert params.termination_threshold(100) == pytest.approx(10 * math.log(100))
+
+    def test_from_config_inherits_fields(self):
+        config = SimulationConfig(n=128, k=3, c=4.0, epsilon_prime=0.03)
+        params = ProtocolParameters.from_config(config)
+        assert params.k == 3
+        assert params.c == 4.0
+        assert params.epsilon_prime == 0.03
+
+    def test_with_returns_copy(self):
+        params = ProtocolParameters(k=2)
+        other = params.with_(c=9.0)
+        assert other.c == 9.0 and params.c != 9.0
+
+
+class TestAlicePolicy:
+    def make(self, n=1024, figure=1, **kwargs):
+        return AlicePolicy(ProtocolParameters(k=kwargs.pop("k", 2), **kwargs), n, figure=figure)
+
+    def test_inform_send_probability_formula(self):
+        policy = self.make()
+        i = 8
+        expected = 2 * math.log(1024) / 2 ** i
+        assert policy.inform_send_probability(i) == pytest.approx(expected)
+
+    def test_inform_send_probability_clipped_early(self):
+        assert self.make().inform_send_probability(1) == 1.0
+
+    def test_figure2_uses_log_power_k(self):
+        policy = AlicePolicy(ProtocolParameters(k=3), 1024, figure=2)
+        i = 10
+        expected = 2 * 2.0 * math.log(1024) ** 3 / 2 ** i
+        assert policy.inform_send_probability(i) == pytest.approx(min(expected, 1.0))
+
+    def test_request_listen_probability_decreases_with_round(self):
+        policy = self.make()
+        assert policy.request_listen_probability(10) < policy.request_listen_probability(8)
+
+    def test_expected_request_listens_constant_per_round(self):
+        policy = self.make()
+        for i in (9, 10, 11):
+            expected = policy.request_listen_probability(i) * policy.request_phase_length(i)
+            assert expected == pytest.approx(
+                policy.params.c * math.log(1024) / (1 - math.exp(-4 * policy.params.epsilon_prime)),
+                rel=0.05,
+            )
+
+    def test_should_terminate_requires_minimum_round(self):
+        policy = self.make()
+        early = policy.earliest_termination_round() - 1
+        assert not policy.should_terminate(0, early)
+        assert policy.should_terminate(0, policy.earliest_termination_round())
+
+    def test_should_not_terminate_when_noisy(self):
+        policy = self.make()
+        late = policy.earliest_termination_round() + 1
+        assert not policy.should_terminate(10_000, late)
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(ValueError):
+            AlicePolicy(ProtocolParameters(), 64, figure=3)
+
+
+class TestReceiverPolicy:
+    def make(self, n=1024, figure=1, decoy=False, k=2):
+        return ReceiverPolicy(ProtocolParameters(k=k), n, figure=figure, decoy_traffic=decoy)
+
+    def test_inform_listen_formula(self):
+        policy = self.make()
+        i = 9
+        expected = 2.0 / (policy.params.epsilon_prime * 2 ** i)
+        assert policy.inform_listen_probability(i) == pytest.approx(min(expected, 1.0))
+
+    def test_relay_and_nack_probabilities_are_one_over_n(self):
+        policy = self.make(n=500)
+        assert policy.relay_send_probability(7) == pytest.approx(1 / 500)
+        assert policy.nack_send_probability(7) == pytest.approx(1 / 500)
+
+    def test_propagation_listen_figure1_vs_figure2_differ(self):
+        fig1 = self.make(figure=1).propagation_listen_probability(9)
+        fig2 = self.make(figure=2).propagation_listen_probability(9)
+        assert fig1 != fig2
+
+    def test_decoy_probability_zero_when_disabled(self):
+        assert self.make().decoy_send_probability(8) == 0.0
+
+    def test_decoy_probability_scales_with_rate(self):
+        policy = ReceiverPolicy(ProtocolParameters(), 100, decoy_traffic=True, decoy_rate=0.75)
+        assert policy.decoy_send_probability(8) == pytest.approx(0.0075)
+
+    def test_decoy_boosts_listening(self):
+        base = self.make(decoy=False).inform_listen_probability(12)
+        boosted = self.make(decoy=True).inform_listen_probability(12)
+        assert boosted > base
+
+    def test_termination_threshold_uses_policy_n(self):
+        policy = self.make(n=2048)
+        assert policy.termination_threshold() == pytest.approx(10 * math.log(2048))
+
+    def test_earliest_termination_round_is_sane(self):
+        policy = self.make()
+        earliest = policy.earliest_termination_round()
+        assert policy.params.start_round <= earliest <= policy.params.resolved_max_round(1024)
+
+    def test_min_reliable_round_grows_with_threshold(self):
+        lenient = ReceiverPolicy(ProtocolParameters(c=1.0), 1024)
+        strict = ReceiverPolicy(ProtocolParameters(c=4.0), 1024)
+        assert strict.min_reliable_termination_round() >= lenient.min_reliable_termination_round()
+
+    def test_should_terminate_threshold_boundary(self):
+        policy = self.make()
+        round_index = policy.earliest_termination_round()
+        threshold = policy.termination_threshold()
+        assert policy.should_terminate(int(threshold), round_index)
+        assert not policy.should_terminate(int(threshold) + 1, round_index)
+
+    def test_invalid_decoy_rate(self):
+        with pytest.raises(ValueError):
+            ReceiverPolicy(ProtocolParameters(), 64, decoy_rate=0.0)

@@ -1,0 +1,205 @@
+"""Unit tests for protocol state, round schedules, and termination rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolParameters, ScheduleBuilder
+from repro.core.alice import AlicePolicy
+from repro.core.receiver import ReceiverPolicy
+from repro.core.state import NodeStatus, ProtocolState
+from repro.core.termination import apply_request_phase
+from repro.simulation import PhaseKind, PhasePlan, PhaseResult, ProtocolViolationError
+
+
+class TestProtocolState:
+    def test_initial_state_all_uninformed(self):
+        state = ProtocolState(5)
+        assert state.active_uninformed() == frozenset(range(5))
+        assert state.informed_count() == 0
+        assert not state.everyone_done()
+
+    def test_mark_informed_transitions(self):
+        state = ProtocolState(5)
+        changed = state.mark_informed([1, 3], slot=10)
+        assert changed == {1, 3}
+        assert state.status(1) is NodeStatus.INFORMED
+        assert state.active_informed() == frozenset({1, 3})
+        assert state.informed_at_slot[1] == 10
+
+    def test_duplicate_inform_is_harmless(self):
+        state = ProtocolState(5)
+        state.mark_informed([1], slot=1)
+        assert state.mark_informed([1], slot=2) == set()
+
+    def test_unknown_node_rejected(self):
+        state = ProtocolState(3)
+        with pytest.raises(ProtocolViolationError):
+            state.mark_informed([9], slot=1)
+
+    def test_terminate_informed_lifecycle(self):
+        state = ProtocolState(4)
+        state.mark_informed([0, 1], slot=1)
+        state.terminate_informed([0, 1], round_index=3)
+        assert state.terminated_informed_count() == 2
+        assert state.status(0).is_terminated
+        assert state.status(0).is_informed
+
+    def test_terminate_uninformed_lifecycle(self):
+        state = ProtocolState(4)
+        state.terminate_uninformed([2], round_index=5)
+        assert state.terminated_uninformed_count() == 1
+        assert not state.status(2).is_informed
+
+    def test_informed_node_cannot_terminate_uninformed(self):
+        state = ProtocolState(3)
+        state.mark_informed([0], slot=1)
+        with pytest.raises(ProtocolViolationError):
+            state.terminate_uninformed([0], round_index=1)
+
+    def test_uninformed_node_cannot_terminate_informed(self):
+        state = ProtocolState(3)
+        with pytest.raises(ProtocolViolationError):
+            state.terminate_informed([0], round_index=1)
+
+    def test_terminated_node_cannot_receive_message(self):
+        state = ProtocolState(3)
+        state.terminate_uninformed([0], round_index=1)
+        with pytest.raises(ProtocolViolationError):
+            state.mark_informed([0], slot=5)
+
+    def test_everyone_done_requires_alice(self):
+        state = ProtocolState(2)
+        state.mark_informed([0, 1], slot=1)
+        state.terminate_informed([0, 1], round_index=1)
+        assert state.all_nodes_terminated()
+        assert not state.everyone_done()
+        state.terminate_alice(round_index=2)
+        assert state.everyone_done()
+        assert state.alice_terminated_at_round == 2
+
+
+def build_schedule(n=1024, k=2, figure=1):
+    params = ProtocolParameters(k=k)
+    alice = AlicePolicy(params, n, figure=figure)
+    receiver = ReceiverPolicy(params, n, figure=figure)
+    return ScheduleBuilder(params, alice, receiver, figure=figure)
+
+
+class TestScheduleBuilder:
+    def test_round_has_inform_propagation_request(self):
+        phases = build_schedule().round_phases(6)
+        kinds = [plan.kind for plan in phases]
+        assert kinds[0] is PhaseKind.INFORM
+        assert kinds[-1] is PhaseKind.REQUEST
+        assert kinds.count(PhaseKind.PROPAGATION) == 1
+
+    def test_general_k_has_k_minus_1_propagation_steps(self):
+        phases = build_schedule(k=4, figure=2).round_phases(6)
+        steps = [plan for plan in phases if plan.kind is PhaseKind.PROPAGATION]
+        assert len(steps) == 3
+        assert [plan.step for plan in steps] == [1, 2, 3]
+
+    def test_phase_lengths_match_parameters(self):
+        schedule = build_schedule()
+        plan = schedule.inform_phase(8)
+        assert plan.num_slots == schedule.params.phase_length(8)
+        request = schedule.request_phase(8)
+        assert request.num_slots == schedule.params.request_phase_length(8)
+
+    def test_figure2_request_length_uses_phase_length(self):
+        schedule = build_schedule(k=3, figure=2)
+        request = schedule.request_phase(9)
+        assert request.num_slots == schedule.params.phase_length(9)
+
+    def test_round_length_sums_phases(self):
+        schedule = build_schedule()
+        assert schedule.round_length(7) == sum(p.num_slots for p in schedule.round_phases(7))
+
+    def test_probabilities_wired_from_policies(self):
+        schedule = build_schedule()
+        inform = schedule.inform_phase(9)
+        assert inform.alice_send_prob == pytest.approx(schedule.alice.inform_send_probability(9))
+        assert inform.uninformed_listen_prob == pytest.approx(
+            schedule.receiver.inform_listen_probability(9)
+        )
+        request = schedule.request_phase(9)
+        assert request.nack_send_prob == pytest.approx(1 / 1024)
+
+    def test_invalid_figure_rejected(self):
+        params = ProtocolParameters()
+        with pytest.raises(ValueError):
+            ScheduleBuilder(params, AlicePolicy(params, 64), ReceiverPolicy(params, 64), figure=5)
+
+
+class TestRequestPhaseTermination:
+    def make_policies(self, n=256):
+        params = ProtocolParameters(k=2)
+        return AlicePolicy(params, n), ReceiverPolicy(params, n)
+
+    def make_result(self, n, node_noise, alice_noise, round_index):
+        plan = PhasePlan(
+            name="request", kind=PhaseKind.REQUEST, round_index=round_index, num_slots=1024
+        )
+        return PhaseResult(
+            plan=plan,
+            newly_informed=frozenset(),
+            jammed_slots=0,
+            adversary_spend=0.0,
+            alice_noisy_heard=alice_noise,
+            node_noisy_heard=node_noise,
+        )
+
+    def test_quiet_phase_terminates_everyone(self):
+        n = 256
+        alice_policy, receiver_policy = self.make_policies(n)
+        state = ProtocolState(n)
+        round_index = max(
+            alice_policy.earliest_termination_round(), receiver_policy.earliest_termination_round()
+        )
+        result = self.make_result(n, {i: 0 for i in range(n)}, 0, round_index)
+        decision = apply_request_phase(state, result, alice_policy, receiver_policy, round_index)
+        assert decision.alice_terminated
+        assert len(decision.terminated_nodes) == n
+        assert state.alice_terminated
+
+    def test_noisy_phase_keeps_everyone_running(self):
+        n = 256
+        alice_policy, receiver_policy = self.make_policies(n)
+        state = ProtocolState(n)
+        round_index = receiver_policy.earliest_termination_round() + 1
+        noisy = {i: 10_000 for i in range(n)}
+        result = self.make_result(n, noisy, 10_000, round_index)
+        decision = apply_request_phase(state, result, alice_policy, receiver_policy, round_index)
+        assert not decision.alice_terminated
+        assert decision.terminated_nodes == frozenset()
+
+    def test_termination_blocked_before_earliest_round(self):
+        n = 256
+        alice_policy, receiver_policy = self.make_policies(n)
+        state = ProtocolState(n)
+        result = self.make_result(n, {i: 0 for i in range(n)}, 0, round_index=1)
+        decision = apply_request_phase(state, result, alice_policy, receiver_policy, 1)
+        assert not decision.any_terminated
+
+    def test_mixed_noise_terminates_only_quiet_nodes(self):
+        n = 256
+        alice_policy, receiver_policy = self.make_policies(n)
+        state = ProtocolState(n)
+        round_index = receiver_policy.earliest_termination_round()
+        noise = {i: (0 if i < 10 else 10_000) for i in range(n)}
+        result = self.make_result(n, noise, 10_000, round_index)
+        decision = apply_request_phase(state, result, alice_policy, receiver_policy, round_index)
+        assert decision.terminated_nodes == frozenset(range(10))
+        assert state.terminated_uninformed_count() == 10
+
+    def test_informed_nodes_are_not_evaluated(self):
+        n = 64
+        alice_policy, receiver_policy = self.make_policies(n)
+        state = ProtocolState(n)
+        state.mark_informed(range(32), slot=1)
+        round_index = receiver_policy.earliest_termination_round()
+        result = self.make_result(n, {i: 0 for i in range(n)}, 10_000, round_index)
+        decision = apply_request_phase(state, result, alice_policy, receiver_policy, round_index)
+        assert decision.nodes_evaluated == 32
+        assert all(node >= 32 for node in decision.terminated_nodes)

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness, reporting, workloads, and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSettings,
+    render_result,
+    render_table,
+    run_trials,
+)
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.reporting import format_value
+from repro.experiments.workloads import (
+    ablation_roster,
+    blocking_adversary,
+    saturation_spend,
+    spend_sweep,
+)
+from repro.simulation import PhaseKind, SimulationConfig
+
+
+class TestExperimentSettings:
+    def test_trial_seeds_are_deterministic_and_distinct(self):
+        settings = ExperimentSettings(seed=5)
+        assert settings.trial_seed("E1", 0) == settings.trial_seed("E1", 0)
+        assert settings.trial_seed("E1", 0) != settings.trial_seed("E1", 1)
+        assert settings.trial_seed("E1", 0) != settings.trial_seed("E2", 0)
+
+    def test_with_copies(self):
+        settings = ExperimentSettings(n=512)
+        assert settings.with_(n=128).n == 128
+        assert settings.n == 512
+
+    def test_run_trials_passes_distinct_seeds(self):
+        settings = ExperimentSettings(trials=3, seed=1)
+        seeds = run_trials(lambda seed: {"seed": float(seed)}, settings, "label")
+        assert len(seeds) == 3
+        assert len({record["seed"] for record in seeds}) == 3
+
+
+class TestExperimentResult:
+    def test_add_row_and_column_values(self):
+        result = ExperimentResult("EX", "title", "claim", columns=["a", "b"])
+        result.add_row(a=1.0, b="x")
+        result.add_row(a=2.0, b="y")
+        assert result.column_values("a") == [1.0, 2.0]
+        assert result.column_values("b") == []
+
+    def test_notes_and_summaries(self):
+        result = ExperimentResult("EX", "title", "claim", columns=["a"])
+        result.add_note("hello")
+        result.summaries["metric"] = 1.5
+        text = render_result(result)
+        assert "hello" in text and "metric" in text and "claim" in text
+
+
+class TestReporting:
+    def test_format_value_variants(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(12.34) == "12.3"
+        assert format_value(0.5) == "0.500"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(["col", "value"], [{"col": "a", "value": 1.0}, {"col": "bb", "value": 22.0}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_handles_missing_cells(self):
+        table = render_table(["a", "b"], [{"a": 1.0}])
+        assert "1.000" in table
+
+
+class TestWorkloads:
+    def test_spend_sweep_is_increasing_and_within_budget(self):
+        config = SimulationConfig(n=256, f=1.0)
+        sweep = spend_sweep(config, points=5, quick=False)
+        assert sweep == sorted(sweep)
+        assert sweep[-1] <= config.adversary_total_budget
+        assert len(sweep) == 5
+
+    def test_saturation_spend_positive(self):
+        config = SimulationConfig(n=256)
+        assert saturation_spend(config) > 0
+
+    def test_blocking_adversary_targets_inform_only(self):
+        adversary = blocking_adversary(1000)
+        assert adversary.kinds == {PhaseKind.INFORM}
+        assert adversary.max_total_spend == 1000
+
+    def test_ablation_roster_contents(self):
+        roster = ablation_roster(1000)
+        assert {"none", "continuous", "phase_blocker", "reactive"} <= set(roster)
+        adversary = roster["continuous"]()
+        assert adversary.max_total_spend == 1000
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert experiment_ids() == [f"E{i}" for i in range(1, 11)]
+        for spec in EXPERIMENTS.values():
+            assert spec.title and spec.claim
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_delivery_experiment_runs_end_to_end(self):
+        settings = ExperimentSettings(n=96, trials=1, quick=True, seed=3)
+        result = run_experiment("E2", settings)
+        assert result.experiment_id == "E2"
+        assert result.rows
+        assert all("delivery_fraction" in row for row in result.rows)
+        # The no-attack scenario always informs everyone.
+        assert result.rows[0]["delivery_fraction"] == pytest.approx(1.0)
+
+    def test_spoofing_experiment_runs_end_to_end(self):
+        settings = ExperimentSettings(n=96, trials=1, quick=True, seed=3)
+        result = run_experiment("E10", settings)
+        assert result.experiment_id == "E10"
+        assert len(result.rows) >= 3
+        assert all(row["delivery_fraction"] == pytest.approx(1.0) for row in result.rows)
+
+    def test_rendering_a_real_result(self):
+        settings = ExperimentSettings(n=96, trials=1, quick=True, seed=3)
+        result = run_experiment("E4", settings)
+        text = render_result(result)
+        assert "E4" in text and "load" in text.lower()

@@ -1,0 +1,116 @@
+"""Integration tests: the vectorised engine is statistically equivalent to the
+slot-faithful engine.
+
+The PhaseEngine documents two second-order approximations; these tests check
+that on identical scenarios the two engines agree on the protocol-visible
+outcomes (delivery, termination) and that their cost figures agree within
+statistical tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_broadcast
+from repro.adversary import PhaseBlockingAdversary
+from repro.simulation import (
+    JamPlan,
+    JamTargeting,
+    Network,
+    PhaseEngine,
+    PhaseKind,
+    PhasePlan,
+    PhaseRoles,
+    SimulationConfig,
+    SlotEngine,
+)
+
+
+def run_phase_on_both(plan, roles_builder, jam_builder, n=48, trials=6):
+    """Run the same phase on both engines across seeds; return per-engine stats."""
+
+    stats = {"slot": [], "fast": []}
+    for trial in range(trials):
+        for name, engine_cls in (("slot", SlotEngine), ("fast", PhaseEngine)):
+            network = Network(SimulationConfig(n=n, seed=100 + trial))
+            engine = engine_cls(network)
+            result = engine.run_phase(plan, roles_builder(network), jam_builder())
+            stats[name].append(
+                {
+                    "informed": len(result.newly_informed),
+                    "alice_cost": network.alice_cost,
+                    "node_total": float(network.node_costs().sum()),
+                    "adversary": network.adversary_cost,
+                    "alice_noisy": result.alice_noisy_heard,
+                }
+            )
+    return {
+        name: {key: float(np.mean([r[key] for r in rows])) for key in rows[0]}
+        for name, rows in stats.items()
+    }
+
+
+class TestPhaseLevelEquivalence:
+    def test_inform_phase_statistics_match(self):
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=5,
+            num_slots=300,
+            alice_send_prob=0.2,
+            uninformed_listen_prob=0.3,
+        )
+        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), JamPlan.idle)
+        assert stats["fast"]["informed"] == pytest.approx(stats["slot"]["informed"], rel=0.25)
+        assert stats["fast"]["alice_cost"] == pytest.approx(stats["slot"]["alice_cost"], rel=0.25)
+        # Listening cost carries the documented stop-when-informed
+        # approximation, so its tolerance is a little looser.
+        assert stats["fast"]["node_total"] == pytest.approx(stats["slot"]["node_total"], rel=0.4)
+
+    def test_jammed_inform_phase_statistics_match(self):
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=5,
+            num_slots=300,
+            alice_send_prob=0.3,
+            uninformed_listen_prob=0.3,
+        )
+        jam = lambda: JamPlan(num_jam_slots=150, targeting=JamTargeting.everyone())
+        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), jam)
+        assert stats["fast"]["adversary"] == stats["slot"]["adversary"] == 150
+        assert stats["fast"]["informed"] == pytest.approx(stats["slot"]["informed"], rel=0.3, abs=4)
+
+    def test_request_phase_noise_statistics_match(self):
+        plan = PhasePlan(
+            name="request",
+            kind=PhaseKind.REQUEST,
+            round_index=5,
+            num_slots=400,
+            nack_send_prob=0.02,
+            uninformed_listen_prob=0.2,
+            alice_listen_prob=0.2,
+        )
+        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), JamPlan.idle)
+        assert stats["fast"]["alice_noisy"] == pytest.approx(stats["slot"]["alice_noisy"], rel=0.3, abs=5)
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("adversary_factory", [
+        lambda: "none",
+        lambda: PhaseBlockingAdversary(max_total_spend=4_000),
+    ])
+    def test_full_runs_agree_on_protocol_outcomes(self, adversary_factory):
+        fast = run_broadcast(n=64, seed=21, adversary=adversary_factory(), engine="fast")
+        slot = run_broadcast(n=64, seed=21, adversary=adversary_factory(), engine="slot")
+        assert fast.delivery_fraction == slot.delivery_fraction == 1.0
+        assert fast.delivery.alice_terminated and slot.delivery.alice_terminated
+        assert fast.delivery.rounds_executed == pytest.approx(slot.delivery.rounds_executed, abs=1)
+
+    def test_full_run_costs_within_tolerance(self):
+        fast = run_broadcast(n=64, seed=22, adversary=PhaseBlockingAdversary(max_total_spend=4_000), engine="fast")
+        slot = run_broadcast(n=64, seed=22, adversary=PhaseBlockingAdversary(max_total_spend=4_000), engine="slot")
+        assert fast.adversary_spend == pytest.approx(slot.adversary_spend, rel=0.15)
+        assert fast.mean_node_cost == pytest.approx(slot.mean_node_cost, rel=0.35)
+        assert fast.alice_cost == pytest.approx(slot.alice_cost, rel=0.35)

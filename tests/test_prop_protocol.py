@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for protocol-level invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import fit_power_law
+from repro.core import ProtocolParameters
+from repro.core.alice import AlicePolicy
+from repro.core.receiver import ReceiverPolicy
+from repro.core.state import NodeStatus, ProtocolState
+
+
+class TestParameterProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=6),
+        round_index=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_phase_lengths_positive_and_monotone(self, k, round_index):
+        params = ProtocolParameters(k=k)
+        assert params.phase_length(round_index) >= 1
+        assert params.phase_length(round_index + 1) > params.phase_length(round_index)
+        assert params.request_phase_length(round_index + 1) > params.request_phase_length(round_index)
+
+    @given(
+        k=st.integers(min_value=2, max_value=6),
+        n=st.integers(min_value=4, max_value=100_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_window_ordering(self, k, n):
+        params = ProtocolParameters(k=k)
+        assert params.start_round <= params.resolved_min_termination_round(n)
+        assert params.resolved_min_termination_round(n) <= params.resolved_max_round(n) + 1
+
+
+class TestPolicyProperties:
+    @given(
+        n=st.integers(min_value=8, max_value=10_000),
+        k=st.integers(min_value=2, max_value=4),
+        round_index=st.integers(min_value=1, max_value=24),
+        figure=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_all_probabilities_are_valid(self, n, k, round_index, figure):
+        params = ProtocolParameters(k=k)
+        alice = AlicePolicy(params, n, figure=figure)
+        receiver = ReceiverPolicy(params, n, figure=figure, decoy_traffic=True)
+        probabilities = [
+            alice.inform_send_probability(round_index),
+            alice.request_listen_probability(round_index),
+            receiver.inform_listen_probability(round_index),
+            receiver.propagation_listen_probability(round_index),
+            receiver.request_listen_probability(round_index),
+            receiver.relay_send_probability(round_index),
+            receiver.nack_send_probability(round_index),
+            receiver.decoy_send_probability(round_index),
+        ]
+        assert all(0.0 <= p <= 1.0 for p in probabilities)
+
+    @given(
+        n=st.integers(min_value=8, max_value=10_000),
+        round_index=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_listening_probabilities_never_increase_with_round(self, n, round_index):
+        receiver = ReceiverPolicy(ProtocolParameters(k=2), n)
+        assert receiver.inform_listen_probability(round_index + 1) <= receiver.inform_listen_probability(
+            round_index
+        )
+        assert receiver.request_listen_probability(round_index + 1) <= receiver.request_listen_probability(
+            round_index
+        )
+
+    @given(
+        n=st.integers(min_value=8, max_value=10_000),
+        heard=st.integers(min_value=0, max_value=10_000),
+        round_index=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_termination_is_monotone_in_noise(self, n, heard, round_index):
+        receiver = ReceiverPolicy(ProtocolParameters(k=2), n)
+        # If a node terminates having heard `heard` noisy slots, it must also
+        # terminate having heard fewer.
+        if receiver.should_terminate(heard, round_index):
+            assert receiver.should_terminate(max(heard - 1, 0), round_index)
+        # And never before its earliest allowed round.
+        if round_index < receiver.earliest_termination_round():
+            assert not receiver.should_terminate(0, round_index)
+
+
+class TestProtocolStateProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        informed=st.data(),
+    )
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_status_counts_always_partition_the_network(self, n, informed):
+        state = ProtocolState(n)
+        to_inform = informed.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+        )
+        state.mark_informed(to_inform, slot=1)
+        terminate_informed = informed.draw(st.sets(st.sampled_from(sorted(to_inform)), max_size=len(to_inform))) if to_inform else set()
+        state.terminate_informed(terminate_informed, round_index=1)
+        remaining_uninformed = sorted(set(range(n)) - set(to_inform))
+        give_up = (
+            informed.draw(st.sets(st.sampled_from(remaining_uninformed), max_size=len(remaining_uninformed)))
+            if remaining_uninformed
+            else set()
+        )
+        state.terminate_uninformed(give_up, round_index=1)
+
+        statuses = [state.status(i) for i in range(n)]
+        counts = {
+            NodeStatus.UNINFORMED: 0,
+            NodeStatus.INFORMED: 0,
+            NodeStatus.TERMINATED_INFORMED: 0,
+            NodeStatus.TERMINATED_UNINFORMED: 0,
+        }
+        for status in statuses:
+            counts[status] += 1
+        assert sum(counts.values()) == n
+        assert counts[NodeStatus.TERMINATED_INFORMED] == len(terminate_informed)
+        assert counts[NodeStatus.TERMINATED_UNINFORMED] == len(give_up)
+        assert state.informed_count() == len(to_inform)
+
+
+class TestFittingProperties:
+    @given(
+        exponent=st.floats(min_value=0.1, max_value=1.5),
+        coefficient=st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_recovers_exact_power_laws(self, exponent, coefficient):
+        xs = [10.0, 100.0, 1000.0, 10_000.0]
+        ys = [coefficient * x ** exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-4)

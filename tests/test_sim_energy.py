@@ -1,0 +1,142 @@
+"""Unit tests for the energy ledger (the paper's cost model)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation import (
+    BudgetExceededError,
+    BudgetPolicy,
+    ConfigurationError,
+    EnergyLedger,
+    EnergyOperation,
+)
+
+
+class TestEnergyOperations:
+    def test_all_operations_cost_one_unit(self):
+        for operation in EnergyOperation:
+            assert operation.unit_cost == 1.0
+
+
+class TestEnergyLedgerRecording:
+    def test_initial_state(self):
+        ledger = EnergyLedger(owner="x", budget=10)
+        assert ledger.spent == 0
+        assert ledger.remaining == 10
+        assert not ledger.exhausted
+
+    def test_charge_accumulates(self):
+        ledger = EnergyLedger(owner="x", budget=10)
+        ledger.charge(EnergyOperation.SEND)
+        ledger.charge(EnergyOperation.LISTEN)
+        ledger.charge(EnergyOperation.LISTEN)
+        assert ledger.spent == 3
+        assert ledger.spent_on(EnergyOperation.LISTEN) == 2
+        assert ledger.spent_on(EnergyOperation.SEND) == 1
+
+    def test_zero_charge_is_noop(self):
+        ledger = EnergyLedger(owner="x", budget=10)
+        assert ledger.charge(EnergyOperation.SEND, 0)
+        assert ledger.spent == 0
+
+    def test_negative_charge_rejected(self):
+        ledger = EnergyLedger(owner="x", budget=10)
+        with pytest.raises(ConfigurationError):
+            ledger.charge(EnergyOperation.SEND, -1)
+
+    def test_record_policy_allows_overdraft(self):
+        ledger = EnergyLedger(owner="x", budget=2, policy=BudgetPolicy.RECORD)
+        for _ in range(5):
+            assert ledger.charge(EnergyOperation.LISTEN)
+        assert ledger.spent == 5
+        assert ledger.overdraft == 3
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger(owner="x", budget=-1)
+
+    def test_infinite_budget_never_exhausts(self):
+        ledger = EnergyLedger(owner="x", budget=math.inf)
+        ledger.charge_bulk(EnergyOperation.JAM, 1e9)
+        assert not ledger.exhausted
+        assert ledger.can_afford(1e12)
+
+    def test_snapshot_contains_all_operations(self):
+        ledger = EnergyLedger(owner="x", budget=4)
+        ledger.charge(EnergyOperation.JAM)
+        snapshot = ledger.snapshot()
+        assert snapshot["spent"] == 1
+        assert snapshot["budget"] == 4
+        for operation in EnergyOperation:
+            assert operation.value in snapshot
+
+
+class TestEnergyLedgerEnforcement:
+    def test_enforce_policy_raises(self):
+        ledger = EnergyLedger(owner="x", budget=1, policy=BudgetPolicy.ENFORCE)
+        ledger.charge(EnergyOperation.SEND)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(EnergyOperation.SEND)
+
+    def test_enforce_error_carries_details(self):
+        ledger = EnergyLedger(owner="carol", budget=1, policy=BudgetPolicy.ENFORCE)
+        ledger.charge(EnergyOperation.JAM)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            ledger.charge(EnergyOperation.JAM)
+        assert excinfo.value.owner == "carol"
+        assert excinfo.value.budget == 1
+
+    def test_cap_policy_refuses_without_raising(self):
+        ledger = EnergyLedger(owner="x", budget=2, policy=BudgetPolicy.CAP)
+        assert ledger.charge(EnergyOperation.JAM)
+        assert ledger.charge(EnergyOperation.JAM)
+        assert not ledger.charge(EnergyOperation.JAM)
+        assert ledger.spent == 2
+
+    def test_exhausted_flag(self):
+        ledger = EnergyLedger(owner="x", budget=1, policy=BudgetPolicy.CAP)
+        assert not ledger.exhausted
+        ledger.charge(EnergyOperation.JAM)
+        assert ledger.exhausted
+
+
+class TestChargeBulk:
+    def test_bulk_within_budget(self):
+        ledger = EnergyLedger(owner="x", budget=100)
+        charged = ledger.charge_bulk(EnergyOperation.LISTEN, 40)
+        assert charged == 40
+        assert ledger.spent == 40
+
+    def test_bulk_cap_truncates(self):
+        ledger = EnergyLedger(owner="x", budget=10, policy=BudgetPolicy.CAP)
+        charged = ledger.charge_bulk(EnergyOperation.JAM, 25)
+        assert charged == 10
+        assert ledger.spent == 10
+        assert ledger.remaining == 0
+
+    def test_bulk_cap_when_exhausted_returns_zero(self):
+        ledger = EnergyLedger(owner="x", budget=1, policy=BudgetPolicy.CAP)
+        ledger.charge_bulk(EnergyOperation.JAM, 1)
+        assert ledger.charge_bulk(EnergyOperation.JAM, 5) == 0
+
+    def test_bulk_enforce_raises(self):
+        ledger = EnergyLedger(owner="x", budget=5, policy=BudgetPolicy.ENFORCE)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge_bulk(EnergyOperation.JAM, 6)
+
+    def test_bulk_record_allows_overdraft(self):
+        ledger = EnergyLedger(owner="x", budget=5, policy=BudgetPolicy.RECORD)
+        assert ledger.charge_bulk(EnergyOperation.LISTEN, 9) == 9
+        assert ledger.overdraft == 4
+
+    def test_bulk_negative_rejected(self):
+        ledger = EnergyLedger(owner="x", budget=5)
+        with pytest.raises(ConfigurationError):
+            ledger.charge_bulk(EnergyOperation.LISTEN, -3)
+
+    def test_bulk_zero_is_noop(self):
+        ledger = EnergyLedger(owner="x", budget=5)
+        assert ledger.charge_bulk(EnergyOperation.LISTEN, 0) == 0

@@ -1,0 +1,229 @@
+"""Unit tests for the slot-faithful and vectorised phase engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    ALICE_ID,
+    JamPlan,
+    JamTargeting,
+    Network,
+    PhaseEngine,
+    PhaseKind,
+    PhasePlan,
+    PhaseRoles,
+    SimulationConfig,
+    SlotEngine,
+)
+
+
+def inform_plan(num_slots=200, alice=0.5, listen=0.5, round_index=3):
+    return PhasePlan(
+        name="inform",
+        kind=PhaseKind.INFORM,
+        round_index=round_index,
+        num_slots=num_slots,
+        alice_send_prob=alice,
+        uninformed_listen_prob=listen,
+    )
+
+
+def request_plan(num_slots=200, nack=0.05, listen=0.5, alice_listen=0.5, round_index=3):
+    return PhasePlan(
+        name="request",
+        kind=PhaseKind.REQUEST,
+        round_index=round_index,
+        num_slots=num_slots,
+        nack_send_prob=nack,
+        uninformed_listen_prob=listen,
+        alice_listen_prob=alice_listen,
+    )
+
+
+def propagation_plan(num_slots=200, relay=0.1, listen=0.5, round_index=3):
+    return PhasePlan(
+        name="propagation:1",
+        kind=PhaseKind.PROPAGATION,
+        round_index=round_index,
+        num_slots=num_slots,
+        step=1,
+        relay_send_prob=relay,
+        uninformed_listen_prob=listen,
+    )
+
+
+@pytest.fixture(params=["slot", "fast"])
+def engine_factory(request):
+    def factory(network):
+        return SlotEngine(network) if request.param == "slot" else PhaseEngine(network)
+
+    return factory
+
+
+def make_network(n=32, seed=5, f=1.0):
+    return Network(SimulationConfig(n=n, f=f, seed=seed))
+
+
+class TestEngineBasics:
+    def test_empty_phase_is_noop(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=0)
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), JamPlan.idle())
+        assert result.newly_informed == frozenset()
+        assert network.alice_cost == 0
+
+    def test_unjammed_inform_phase_informs_everyone(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=300, alice=0.5, listen=0.8)
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), JamPlan.idle())
+        # With ~150 solo transmissions and listen probability 0.8 every node
+        # catches at least one copy with overwhelming probability.
+        assert len(result.newly_informed) == network.n
+
+    def test_costs_are_charged(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=400, alice=0.5, listen=0.5)
+        engine.run_phase(plan, PhaseRoles.of(range(network.n)), JamPlan.idle())
+        assert network.alice_cost > 0
+        assert network.node_costs().sum() > 0
+        # Alice's sends concentrate around 200 = 400 * 0.5.
+        assert 100 <= network.alice_cost <= 300
+
+    def test_full_jamming_blocks_all_delivery(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=300)
+        jam = JamPlan(num_jam_slots=300, targeting=JamTargeting.everyone())
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.newly_informed == frozenset()
+        assert result.jammed_slots == 300
+        assert network.adversary_cost == 300
+
+    def test_n_uniform_jamming_spares_chosen_nodes(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        spared = frozenset(range(8))
+        plan = inform_plan(num_slots=300, alice=0.5, listen=0.8)
+        jam = JamPlan(num_jam_slots=300, targeting=JamTargeting.sparing(spared))
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.newly_informed == spared
+
+    def test_alice_inactive_means_no_delivery(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=200)
+        roles = PhaseRoles.of(range(network.n), alice_active=False)
+        result = engine.run_phase(plan, roles, JamPlan.idle())
+        assert result.newly_informed == frozenset()
+        assert network.alice_cost == 0
+
+    def test_adversary_budget_caps_jamming(self, engine_factory):
+        config = SimulationConfig(n=32, f=0.0, budget_constant=1.0, seed=5)
+        network = Network(config)
+        budget = network.adversary_ledger.budget
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=int(budget) + 500)
+        jam = JamPlan(num_jam_slots=plan.num_slots, targeting=JamTargeting.everyone())
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.jammed_slots <= budget
+        assert network.adversary_cost <= budget
+
+    def test_propagation_phase_spreads_message(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        relays = frozenset(range(8))
+        uninformed = frozenset(range(8, network.n))
+        plan = propagation_plan(num_slots=400, relay=0.2, listen=0.8)
+        result = engine.run_phase(plan, PhaseRoles.of(uninformed, relays=relays), JamPlan.idle())
+        assert len(result.newly_informed) > len(uninformed) * 0.8
+        assert result.newly_informed <= uninformed
+
+    def test_request_phase_counts_noise_for_alice_and_nodes(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = request_plan(num_slots=400, nack=0.2, listen=0.5, alice_listen=0.5)
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), JamPlan.idle())
+        assert result.alice_noisy_heard > 0
+        assert result.alice_listen_slots >= result.alice_noisy_heard
+        assert sum(result.node_noisy_heard.values()) > 0
+
+    def test_request_phase_silent_when_nobody_nacks(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = request_plan(num_slots=300, nack=0.0, listen=0.5, alice_listen=0.5)
+        result = engine.run_phase(plan, PhaseRoles.of([], alice_active=True), JamPlan.idle())
+        assert result.alice_noisy_heard == 0
+
+    def test_spoofed_nacks_make_noise_for_alice(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = request_plan(num_slots=300, nack=0.0, listen=0.0, alice_listen=1.0)
+        jam = JamPlan(spoof_nack_slots=150, targeting=JamTargeting.none())
+        result = engine.run_phase(plan, PhaseRoles.of([], alice_active=True), jam)
+        assert result.spoofed_transmissions == 150
+        assert result.alice_noisy_heard == pytest.approx(150, abs=0)
+        assert network.adversary_cost == 150
+
+    def test_spoofed_payloads_do_not_inform_anyone(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=300, alice=0.0, listen=1.0)
+        jam = JamPlan(spoof_payload_slots=200, targeting=JamTargeting.none())
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.newly_informed == frozenset()
+        assert result.spoofed_transmissions == 200
+
+    def test_reactive_jamming_suppresses_delivery_cheaply(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=300, alice=0.3, listen=0.8)
+        jam = JamPlan(num_jam_slots=10_000, reactive=True, targeting=JamTargeting.everyone())
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.newly_informed == frozenset()
+        # A reactive jammer only pays for slots that actually carried traffic.
+        assert network.adversary_cost == result.jammed_slots
+        assert result.jammed_slots < 300
+
+    def test_decoy_traffic_costs_energy_and_confuses_reactive_jammers(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=3,
+            num_slots=300,
+            alice_send_prob=0.3,
+            uninformed_listen_prob=0.8,
+            decoy_send_prob=0.05,
+        )
+        roles = PhaseRoles.of(range(network.n), decoy_senders=range(network.n))
+        jam = JamPlan(num_jam_slots=60, reactive=True, targeting=JamTargeting.everyone())
+        result = engine.run_phase(plan, roles, jam)
+        # With decoys a large share of slots are busy (the share falls over the
+        # phase as informed nodes stop sending decoys in the slot engine), so
+        # 60 reactive jams cannot cover Alice's ~90 transmissions and some
+        # nodes still learn m.
+        assert len(result.newly_informed) > 0
+        assert result.busy_slots > 100
+
+
+class TestResultBookkeeping:
+    def test_delivery_and_busy_slot_counters(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=200, alice=0.5, listen=0.5)
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), JamPlan.idle())
+        assert 0 < result.delivery_slots <= result.busy_slots <= 200
+        assert result.alice_send_slots == pytest.approx(100, abs=40)
+
+    def test_jammed_fraction_property(self, engine_factory):
+        network = make_network()
+        engine = engine_factory(network)
+        plan = inform_plan(num_slots=100)
+        jam = JamPlan(num_jam_slots=50, targeting=JamTargeting.everyone())
+        result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
+        assert result.jammed_fraction == pytest.approx(0.5)

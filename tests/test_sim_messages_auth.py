@@ -1,0 +1,96 @@
+"""Unit tests for the message model and the authentication layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    ALICE_ID,
+    AuthenticationError,
+    Authenticator,
+    Message,
+    MessageKind,
+    make_decoy,
+    make_nack,
+    make_payload,
+    make_spoof,
+)
+
+
+class TestMessageKinds:
+    def test_payload_is_payload_like(self):
+        assert make_payload(ALICE_ID, "m", "sig").is_payload_like
+
+    def test_spoofed_payload_is_payload_like(self):
+        assert make_spoof(-2).is_payload_like
+
+    def test_nack_is_nack_like(self):
+        assert make_nack(3).is_nack_like
+
+    def test_spoofed_nack_is_nack_like(self):
+        assert make_spoof(-2, nack=True).is_nack_like
+
+    def test_decoy_is_neither(self):
+        decoy = make_decoy(4)
+        assert not decoy.is_payload_like
+        assert not decoy.is_nack_like
+
+    def test_message_is_frozen(self):
+        message = make_nack(1)
+        with pytest.raises(AttributeError):
+            message.sender_id = 2  # type: ignore[misc]
+
+    def test_kind_values_are_distinct(self):
+        values = [kind.value for kind in MessageKind]
+        assert len(values) == len(set(values))
+
+    def test_signature_not_part_of_equality(self):
+        a = Message(MessageKind.PAYLOAD, ALICE_ID, "m", signature="x")
+        b = Message(MessageKind.PAYLOAD, ALICE_ID, "m", signature="y")
+        assert a == b
+
+
+class TestAuthenticator:
+    def test_sign_and_verify_roundtrip(self):
+        auth = Authenticator()
+        signature = auth.sign("hello")
+        assert auth.verify(make_payload(ALICE_ID, "hello", signature))
+
+    def test_relayed_copy_still_verifies(self):
+        auth = Authenticator()
+        signature = auth.sign("m")
+        relayed = make_payload(17, "m", signature)
+        assert auth.verify(relayed)
+
+    def test_wrong_payload_fails_verification(self):
+        auth = Authenticator()
+        signature = auth.sign("m")
+        assert not auth.verify(make_payload(ALICE_ID, "tampered", signature))
+
+    def test_missing_signature_fails(self):
+        auth = Authenticator()
+        assert not auth.verify(make_payload(ALICE_ID, "m", None))
+
+    def test_spoofed_payload_fails(self):
+        auth = Authenticator()
+        auth.sign("m")
+        assert not auth.verify(make_spoof(-2))
+
+    def test_nack_never_verifies_as_payload(self):
+        auth = Authenticator()
+        assert not auth.verify(make_nack(5))
+
+    def test_only_alice_can_sign(self):
+        auth = Authenticator()
+        with pytest.raises(AuthenticationError):
+            auth.sign("m", sender_id=12)
+
+    def test_different_secrets_do_not_cross_verify(self):
+        auth_a = Authenticator("secret-a")
+        auth_b = Authenticator("secret-b")
+        signature = auth_a.sign("m")
+        assert not auth_b.verify(make_payload(ALICE_ID, "m", signature))
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(AuthenticationError):
+            Authenticator("")
