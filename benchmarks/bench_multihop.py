@@ -1,0 +1,24 @@
+"""Benchmark E11 — multi-hop delivery over Gilbert graphs (connectivity threshold)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e11_multihop(benchmark):
+    result = run_and_report(benchmark, "E11")
+    rows = {row["scenario"]: row for row in result.rows}
+
+    sub = [row for name, row in rows.items() if "0.6·r_c" in name]
+    sup = [row for name, row in rows.items() if ("2.5·r_c" in name or "3·r_c" in name) and "jam" not in name]
+    assert sub and sup
+
+    # Below the connectivity threshold the graph fragments: only a small
+    # fraction of the network is even reachable from Alice.
+    assert all(row["reachable_fraction"] < 0.8 for row in sub)
+    # Well above it the giant component spans (essentially) everyone and
+    # multi-hop relaying reaches most of it.
+    assert all(row["reachable_fraction"] > 0.9 for row in sup)
+    assert all(row["delivery_vs_reachable"] > 0.7 for row in sup)
+    # Delivery can never exceed what the radio graph reaches.
+    assert all(row["delivery_fraction"] <= row["reachable_fraction"] + 1e-9 for row in result.rows)

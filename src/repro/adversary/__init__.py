@@ -19,6 +19,7 @@ from .phase_blocker import PhaseBlockingAdversary
 from .random_jammer import RandomJammer
 from .reactive import ReactiveJammer
 from .request_spoofer import RequestSpoofingAdversary
+from .spatial import SpatialJammer
 from .sybil import SpoofingAdversary
 
 __all__ = [
@@ -34,5 +35,6 @@ __all__ = [
     "ReactiveJammer",
     "RequestSpoofingAdversary",
     "RoundSwitchingAdversary",
+    "SpatialJammer",
     "SpoofingAdversary",
 ]

@@ -50,6 +50,17 @@ class Adversary(abc.ABC):
     # Template method                                                     #
     # ------------------------------------------------------------------ #
 
+    def bind_network(self, network) -> None:
+        """Attach the strategy to the realised network before the first phase.
+
+        Called once by the orchestrator after the
+        :class:`~repro.simulation.network.Network` (and hence the realised
+        topology) exists.  The default is a no-op; strategies whose plans
+        depend on the realised topology — e.g.
+        :class:`~repro.adversary.spatial.SpatialJammer` resolving its disk
+        into a victim set — override it.
+        """
+
     def plan_phase(self, context: PhaseContext) -> JamPlan:
         """Return the attack plan for the upcoming phase.
 

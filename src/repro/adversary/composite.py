@@ -35,6 +35,10 @@ class CompositeAdversary(Adversary):
         self.strategies = list(strategies)
         self._last_chosen: Optional[Adversary] = None
 
+    def bind_network(self, network) -> None:
+        for strategy in self.strategies:
+            strategy.bind_network(network)
+
     def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
         for strategy in self.strategies:
             plan = strategy.plan_phase(
@@ -70,6 +74,10 @@ class RoundSwitchingAdversary(Adversary):
         self.early = early
         self.late = late
         self.switch_round = switch_round
+
+    def bind_network(self, network) -> None:
+        self.early.bind_network(network)
+        self.late.bind_network(network)
 
     def _active(self, context: PhaseContext) -> Adversary:
         return self.early if context.plan.round_index < self.switch_round else self.late

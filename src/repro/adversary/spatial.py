@@ -1,0 +1,115 @@
+"""Spatial (disk) jamming.
+
+Over a spatial :class:`~repro.simulation.topology.Topology` Carol does not
+have to blast the whole deployment: a physical jammer has a position and a
+range, so she can blanket a *disk* of the unit square and only listeners
+inside it perceive noise.  :class:`SpatialJammer` models exactly that — it
+resolves its disk against the run's topology into the listener set of a
+:class:`~repro.simulation.channel.JamTargeting` and jams payload-carrying
+phases for those victims only.
+
+Spatial jamming is the geometric analogue of the paper's n-uniform targeting
+(§2.3): the victim set is chosen by geography instead of by identity.  On a
+single-hop topology a disk covers the whole clique, so the strategy degrades
+gracefully into a plain phase blocker.
+
+The adversary needs the realised topology (positions are sampled per seed),
+which only exists once the :class:`~repro.simulation.network.Network` is
+built; orchestrators therefore call :meth:`SpatialJammer.bind_network` before
+the first phase.  Strategies without that hook are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..simulation.auth import ALICE_ID
+from ..simulation.channel import JamTargeting
+from ..simulation.errors import ConfigurationError
+from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
+from .base import Adversary
+
+__all__ = ["SpatialJammer"]
+
+
+class SpatialJammer(Adversary):
+    """Jam every payload-carrying slot inside a disk of the deployment area.
+
+    Parameters
+    ----------
+    center:
+        Centre of the jammed disk in the unit square.
+    radius:
+        Radius of the jammed disk.
+    max_total_spend:
+        Optional cap on total expenditure (the experiment knob ``T``).
+    jam_request_phases:
+        Also jam request phases (delays termination inside the disk at extra
+        cost).  Off by default, matching the splitter's economy of §2.3.
+    """
+
+    name = "spatial"
+
+    def __init__(
+        self,
+        center: Tuple[float, float] = (0.5, 0.5),
+        radius: float = 0.25,
+        max_total_spend: Optional[float] = None,
+        jam_request_phases: bool = False,
+    ) -> None:
+        super().__init__(max_total_spend=max_total_spend)
+        if radius < 0:
+            raise ConfigurationError(f"jam radius must be non-negative, got {radius}")
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = float(radius)
+        self.jam_request_phases = jam_request_phases
+        self._victims: Optional[FrozenSet[int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Topology binding                                                    #
+    # ------------------------------------------------------------------ #
+
+    def bind_network(self, network) -> None:
+        """Resolve the jammed disk against the run's realised topology.
+
+        Called by the orchestrator after the network (and hence the spatial
+        layout) exists.  On aspatial topologies the disk resolves to every
+        device.
+        """
+
+        self._victims = network.topology.nodes_in_disk(self.center, self.radius)
+
+    @property
+    def victims(self) -> FrozenSet[int]:
+        """Device ids inside the jammed disk (empty before binding)."""
+
+        return self._victims if self._victims is not None else frozenset()
+
+    # ------------------------------------------------------------------ #
+    # Strategy                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
+        if self._victims is None:
+            raise ConfigurationError(
+                "SpatialJammer used without bind_network(); the orchestrator must "
+                "bind the adversary to the realised topology first"
+            )
+        if not self._victims:
+            return JamPlan.idle()
+        if context.plan.kind is PhaseKind.REQUEST and not self.jam_request_phases:
+            return JamPlan.idle()
+        if not context.plan.carries_payload and context.plan.kind is not PhaseKind.REQUEST:
+            return JamPlan.idle()
+        # Jamming outside the victims' earshot is wasted energy: payload
+        # phases matter only to the disk's uninformed listeners, and Alice
+        # (who listens in request phases alone) only when this is one.
+        active_victims = self._victims & context.roles.active_uninformed
+        if context.plan.kind is PhaseKind.REQUEST:
+            active_victims |= self._victims & {ALICE_ID}
+        if not active_victims:
+            return JamPlan.idle()
+        return JamPlan(
+            num_jam_slots=context.plan.num_slots,
+            targeting=JamTargeting.only(self._victims),
+        )

@@ -68,6 +68,9 @@ class EpochBaseline(abc.ABC):
         self.config = config
         self.adversary = adversary if adversary is not None else NullAdversary()
         self.network = network if network is not None else Network(config)
+        # Topology-dependent strategies (e.g. spatial disk jammers) resolve
+        # their victim sets against the realised network; no-op by default.
+        self.adversary.bind_network(self.network)
         self.engine = self._resolve_engine(engine)
         if max_epoch is not None:
             self.max_epoch = max_epoch

@@ -26,11 +26,13 @@ from ..adversary import (
     RandomJammer,
     ReactiveJammer,
     RequestSpoofingAdversary,
+    SpatialJammer,
     SpoofingAdversary,
 )
 from ..simulation.config import SimulationConfig
 from ..simulation.errors import ConfigurationError
-from .broadcast import EpsilonBroadcast
+from ..simulation.topology import TopologySpec
+from .broadcast import EpsilonBroadcast, MultiHopBroadcast
 from .decoy import DecoyBroadcast
 from .estimation import SizeEstimateBroadcast
 from .general_k import GeneralKBroadcast
@@ -50,6 +52,7 @@ ADVERSARY_CATALOGUE: Dict[str, Type[Adversary]] = {
     "request_spoofer": RequestSpoofingAdversary,
     "reactive": ReactiveJammer,
     "spoofing": SpoofingAdversary,
+    "spatial": SpatialJammer,
 }
 """Adversary strategies addressable by name."""
 
@@ -58,6 +61,7 @@ PROTOCOL_VARIANTS = {
     "general-k": GeneralKBroadcast,
     "decoy": DecoyBroadcast,
     "size-estimate": SizeEstimateBroadcast,
+    "multihop": MultiHopBroadcast,
 }
 """Protocol variants addressable by name."""
 
@@ -98,6 +102,8 @@ def run_broadcast(
     adversary_kwargs: Optional[dict] = None,
     config: Optional[SimulationConfig] = None,
     params: Optional[ProtocolParameters] = None,
+    topology: str | TopologySpec | None = None,
+    topology_kwargs: Optional[dict] = None,
     **variant_kwargs: object,
 ) -> BroadcastOutcome:
     """Run one ε-Broadcast execution and return its outcome.
@@ -111,18 +117,56 @@ def run_broadcast(
         Either a strategy name from :data:`ADVERSARY_CATALOGUE` or an already
         constructed :class:`~repro.adversary.Adversary`.
     variant:
-        Protocol variant name from :data:`PROTOCOL_VARIANTS`.
+        Protocol variant name from :data:`PROTOCOL_VARIANTS`.  Use
+        ``"multihop"`` for spatial topologies so informed nodes relay hop by
+        hop.
     engine:
         ``"fast"`` or ``"slot"``.
     adversary_kwargs:
         Extra constructor arguments when ``adversary`` is given by name.
+    topology:
+        Optional topology: a kind name (``"gilbert"``, ``"scale_free"``) or a
+        full :class:`~repro.simulation.topology.TopologySpec`.  Mutually
+        exclusive with an explicit ``config`` (put the spec on the config
+        instead); combining the two raises ``ConfigurationError``.
+    topology_kwargs:
+        Extra :class:`~repro.simulation.topology.TopologySpec` fields when
+        ``topology`` is given by name (e.g. ``radius=0.2``).
     variant_kwargs:
         Extra constructor arguments for the protocol variant (e.g.
         ``size_estimate=n**2`` for the ``"size-estimate"`` variant).
     """
 
-    if config is None:
-        config = SimulationConfig(n=n, f=f, k=k, epsilon=epsilon, seed=seed)
+    if config is not None:
+        if topology is not None or topology_kwargs is not None:
+            raise ConfigurationError(
+                "topology/topology_kwargs cannot be combined with an explicit config; "
+                "pass SimulationConfig(topology=TopologySpec(...)) instead"
+            )
+    else:
+        topology_spec: Optional[TopologySpec] = None
+        if isinstance(topology, TopologySpec):
+            if topology_kwargs is not None:
+                raise ConfigurationError(
+                    "topology_kwargs only applies when topology is a kind name; "
+                    "put the fields on the TopologySpec instead"
+                )
+            topology_spec = topology
+        elif topology is not None:
+            try:
+                topology_spec = TopologySpec(kind=topology, **(topology_kwargs or {}))  # type: ignore[arg-type]
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"invalid topology_kwargs for topology {topology!r}: {exc}"
+                ) from exc
+        elif topology_kwargs is not None:
+            raise ConfigurationError(
+                "topology_kwargs given without topology; pass topology='gilbert' "
+                "or topology='scale_free'"
+            )
+        config = SimulationConfig(
+            n=n, f=f, k=k, epsilon=epsilon, seed=seed, topology=topology_spec
+        )
     if variant not in PROTOCOL_VARIANTS:
         raise ConfigurationError(
             f"unknown protocol variant {variant!r}; available: {sorted(PROTOCOL_VARIANTS)}"

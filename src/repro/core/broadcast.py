@@ -7,6 +7,13 @@ state transitions (who is informed, who relays, who terminates) to the
 results.  The class implements the ``k = 2`` protocol of Figure 1 by default;
 the general-``k``, decoy-traffic, and unknown-``n`` variants subclass it and
 override narrow hooks.
+
+:class:`MultiHopBroadcast` is the spatial-topology variant: over a Gilbert or
+scale-free radio graph Alice's transmissions reach only her neighbourhood, so
+informed nodes keep re-running the ε-Broadcast propagation step towards
+*their* neighbourhoods — hop by hop — instead of terminating after one relay
+step.  A relay retires once no active uninformed neighbour remains, which
+recovers exactly the single-hop termination behaviour on a clique.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from .receiver import ReceiverPolicy
 from .state import NodeStatus, ProtocolState
 from .termination import apply_request_phase
 
-__all__ = ["EpsilonBroadcast"]
+__all__ = ["EpsilonBroadcast", "MultiHopBroadcast"]
 
 EngineSpec = Union[str, SlotEngine, PhaseEngine]
 
@@ -85,6 +92,9 @@ class EpsilonBroadcast:
             )
         self.network = network if network is not None else Network(config)
         self.engine = self._resolve_engine(engine)
+        # Strategies that depend on the realised topology (e.g. spatial disk
+        # jammers) override the bind_network hook; the base default is a no-op.
+        self.adversary.bind_network(self.network)
         self.record_events = record_events
         self.figure = figure if figure is not None else (1 if self.params.k == 2 else 2)
         self.decoy_traffic = decoy_traffic
@@ -312,3 +322,77 @@ class EpsilonBroadcast:
             terminated_by_cap=terminated_by_cap,
             extra=extra,
         )
+
+
+class MultiHopBroadcast(EpsilonBroadcast):
+    """ε-Broadcast with a multi-hop relay layer for spatial topologies.
+
+    The paper's protocol assumes one shared channel: a node informed in round
+    ``i`` relays during the next propagation step and then terminates, because
+    a single relay step already reaches everyone.  Over a spatial
+    :class:`~repro.simulation.topology.Topology` that is no longer true — the
+    message must travel hop by hop — so this variant changes exactly one rule:
+
+    * an informed node keeps its relay role (re-running the propagation step
+      of every subsequent round towards its own neighbourhood) until **no
+      active uninformed neighbour remains**, and only then terminates.
+
+    Within one round the ``k - 1`` propagation steps chain hops: nodes
+    informed in step ``h`` relay in step ``h + 1``.  Across rounds the
+    informed frontier advances at least one hop per round, so coverage of
+    Alice's connected component grows geometrically in slots.  Unreachable
+    nodes stop through the request-phase quiet rule only if their own
+    neighbourhood goes quiet — isolated nodes do; multi-node components
+    without Alice keep hearing each other's nacks and run until the round
+    cap (see the ROADMAP open item on quiet-rule tuning).
+
+    On a single-hop topology every rule above degenerates to the base
+    protocol (a clique relay retires after one step because every neighbour
+    is informed), and this class defers to :class:`EpsilonBroadcast` outright
+    to keep outcomes bit-identical.
+    """
+
+    protocol_name = "multihop-epsilon-broadcast"
+
+    def _apply_result(
+        self,
+        plan: PhasePlan,
+        roles: PhaseRoles,
+        result: PhaseResult,
+        state: ProtocolState,
+        round_index: int,
+        clock: SlotClock,
+    ) -> None:
+        if self.network.topology.is_single_hop:
+            super()._apply_result(plan, roles, result, state, round_index, clock)
+            return
+
+        if result.newly_informed:
+            state.mark_informed(result.newly_informed, slot=clock.now)
+
+        if plan.kind is PhaseKind.REQUEST:
+            apply_request_phase(
+                state,
+                result,
+                self.alice_policy,
+                self.receiver_policy,
+                round_index,
+            )
+
+        if plan.kind in (PhaseKind.PROPAGATION, PhaseKind.REQUEST):
+            # Multi-hop relay retirement: a relay stays active while it still
+            # has an active uninformed neighbour to serve (request phases can
+            # retire relays too — their last neighbours may just have given
+            # up).
+            self._retire_satisfied_relays(state, round_index)
+
+    def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
+        topology = self.network.topology
+        active_uninformed = state.active_uninformed()
+        satisfied = [
+            node_id
+            for node_id in state.active_informed()
+            if not (topology.node_neighbors(node_id) & active_uninformed)
+        ]
+        if satisfied:
+            state.terminate_informed(satisfied, round_index)

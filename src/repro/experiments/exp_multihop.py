@@ -1,0 +1,133 @@
+"""E11 — multi-hop broadcast over Gilbert graphs across the connectivity threshold.
+
+The paper's game is single-hop: one shared channel, every transmission
+audible everywhere.  Its motivating scenario — a dense sensor network over an
+area — is multi-hop: radios have range ``r``, the deployment is a Gilbert
+random geometric graph, and the message must travel hop by hop via informed
+relays.  This experiment runs the :class:`~repro.core.broadcast.MultiHopBroadcast`
+variant while sweeping the radio radius across the Gilbert connectivity
+threshold ``r_c = sqrt(ln n / (π n))`` (arXiv:1312.4861), plus one
+heavy-tailed :class:`~repro.simulation.topology.ScaleFreeGilbert` point, and
+measures three things:
+
+* **delivery tracks the giant component** — below the threshold the graph is
+  fragmented and only Alice's component can be informed; above it delivery
+  approaches 1.  The informative quantity is delivery *relative to* the
+  fraction of nodes reachable from Alice.
+* **multi-hop costs** — relays re-spend energy per hop, so node costs rise
+  with hop count relative to the single-hop game.
+* **spatial jamming** — a disk-jamming Carol (the geometric analogue of the
+  paper's n-uniform splitter) delays or strands the disk only while her
+  budget lasts.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import aggregate_records
+from ..core.broadcast import MultiHopBroadcast
+from ..simulation.config import SimulationConfig
+from ..simulation.topology import TopologySpec, gilbert_connectivity_radius
+from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .workloads import spatial_adversary
+
+__all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
+
+EXPERIMENT_ID = "E11"
+TITLE = "Multi-hop delivery over Gilbert graphs across the connectivity threshold"
+CLAIM = (
+    "With hop-by-hop relaying, delivery tracks the fraction of nodes reachable from Alice: "
+    "it collapses below the Gilbert connectivity radius, saturates above it, and a "
+    "disk-jamming Carol can only delay her disk while her budget lasts"
+)
+
+
+def _scenarios(settings: ExperimentSettings):
+    multipliers = [0.6, 0.9, 1.3, 2.0, 3.0]
+    if settings.quick:
+        multipliers = [0.6, 1.3, 2.5]
+    scenarios = [(f"gilbert r={m:g}·r_c", "gilbert", m, None) for m in multipliers]
+    scenarios.append(("scale-free (α=2.5)", "scale_free", None, None))
+    jam_multiplier = multipliers[-1]
+    scenarios.append(
+        (f"gilbert r={jam_multiplier:g}·r_c + disk jam", "gilbert", jam_multiplier, "spatial")
+    )
+    return scenarios
+
+
+def run(settings: ExperimentSettings) -> ExperimentResult:
+    n = settings.n
+    r_c = gilbert_connectivity_radius(n)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=[
+            "scenario",
+            "radius",
+            "reachable_fraction",
+            "delivery_fraction",
+            "delivery_vs_reachable",
+            "mean_node_cost",
+            "alice_cost",
+            "carol_spend",
+            "slots",
+        ],
+    )
+
+    for label, kind, multiplier, attack in _scenarios(settings):
+        if kind == "gilbert":
+            spec = TopologySpec.gilbert(radius=multiplier * r_c)
+        else:
+            spec = TopologySpec.scale_free(alpha=2.5)
+
+        def trial(seed: int, spec=spec, attack=attack) -> dict:
+            config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
+            adversary = spatial_adversary() if attack == "spatial" else None
+            protocol = MultiHopBroadcast(
+                config,
+                adversary=adversary,
+                engine=settings.engine,
+            )
+            outcome = protocol.run()
+            topology = protocol.network.topology
+            reachable = len(topology.reachable_from_alice())
+            record = outcome.as_record()
+            record["reachable_fraction"] = reachable / n
+            record["delivery_vs_reachable"] = (
+                outcome.delivery.informed / reachable if reachable else 1.0
+            )
+            return record
+
+        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+        summary = aggregate_records(records)
+        result.add_row(
+            scenario=label,
+            radius=(round(multiplier * r_c, 4) if multiplier is not None else "pareto"),
+            reachable_fraction=summary["reachable_fraction"].mean,
+            delivery_fraction=summary["delivery_fraction"].mean,
+            delivery_vs_reachable=summary["delivery_vs_reachable"].mean,
+            mean_node_cost=summary["node_mean_cost"].mean,
+            alice_cost=summary["alice_cost"].mean,
+            carol_spend=summary["adversary_spend"].mean,
+            slots=summary["slots"].mean,
+        )
+
+    result.add_note(
+        "Below the connectivity threshold the Gilbert graph fragments; delivery then tracks "
+        "the reachable (Alice-component) fraction, which is the correct yardstick — the "
+        "protocol cannot inform nodes no radio path reaches."
+    )
+    result.add_note(
+        "The request-phase quiet rule was tuned for a global channel and misfires in both "
+        "directions on sparse topologies: inside Alice's component, locally quiet nodes can "
+        "give up early (delivery_vs_reachable dips below 1 near the threshold), while nodes "
+        "in Alice-less multi-node components keep hearing each other's nacks, never see a "
+        "quiet phase, and run to the round cap — the sub-threshold mean_node_cost blowup.  "
+        "Both are measured model deviations, recorded in ROADMAP open items."
+    )
+    result.add_note(
+        "The disk jammer is the geometric analogue of §2.3's n-uniform splitter: she pays "
+        "full price per jammed payload phase and only postpones her disk until broke."
+    )
+    return result

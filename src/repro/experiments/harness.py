@@ -13,9 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..simulation.errors import ConfigurationError
 from ..simulation.rng import derive_seed
 
-__all__ = ["ExperimentSettings", "ExperimentResult", "run_trials"]
+__all__ = ["ExperimentSettings", "ExperimentResult", "run_trials", "VALID_ENGINES"]
+
+VALID_ENGINES = ("fast", "slot")
+"""Engine names the experiments accept (see ``repro.core.broadcast``)."""
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,8 @@ class ExperimentSettings:
         reproduced *shape* is unchanged; only statistical resolution drops.
     engine:
         Execution engine passed to the protocols (``"fast"`` or ``"slot"``).
+        Validated on construction: a typo would otherwise only surface deep
+        inside the first protocol run of a sweep.
     """
 
     n: int = 512
@@ -43,6 +49,16 @@ class ExperimentSettings:
     seed: int = 2012
     quick: bool = True
     engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in VALID_ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; valid engines: {list(VALID_ENGINES)}"
+            )
+        if self.n < 2:
+            raise ConfigurationError(f"n must be at least 2, got {self.n}")
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be at least 1, got {self.trials}")
 
     def trial_seed(self, *labels: object) -> int:
         """A deterministic seed for one trial of one sweep point."""

@@ -1,6 +1,6 @@
 """Experiment registry.
 
-Maps experiment ids (E1 … E10) to their runner functions so the benchmark
+Maps experiment ids (E1 … E11) to their runner functions so the benchmark
 harness, the examples, and EXPERIMENTS.md generation can iterate over every
 reproduced claim uniformly.
 """
@@ -18,6 +18,7 @@ from . import (
     exp_general_k,
     exp_latency,
     exp_load_balance,
+    exp_multihop,
     exp_reactive,
     exp_size_estimate,
     exp_spoofing,
@@ -48,6 +49,7 @@ _MODULES = [
     exp_size_estimate,
     exp_adversary_ablation,
     exp_spoofing,
+    exp_multihop,
 ]
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

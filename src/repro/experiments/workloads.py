@@ -23,6 +23,7 @@ from ..adversary import (
     RandomJammer,
     ReactiveJammer,
     RequestSpoofingAdversary,
+    SpatialJammer,
     SpoofingAdversary,
 )
 from ..simulation.config import SimulationConfig
@@ -35,6 +36,7 @@ __all__ = [
     "ablation_roster",
     "splitting_adversary",
     "reactive_adversary",
+    "spatial_adversary",
     "spoofing_adversary",
 ]
 
@@ -97,6 +99,20 @@ def reactive_adversary(max_total_spend: Optional[float] = None) -> ReactiveJamme
     """A reactive jammer that drains its budget on payload-carrying phases."""
 
     return ReactiveJammer(phase_budget_fraction=0.5, max_total_spend=max_total_spend)
+
+
+def spatial_adversary(
+    center: tuple = (0.25, 0.25),
+    radius: float = 0.25,
+    max_total_spend: Optional[float] = None,
+) -> SpatialJammer:
+    """A disk jammer for the multi-hop experiments (E11).
+
+    The off-centre default disk avoids Alice's default centre position, so the
+    attack targets relay traffic rather than silencing the source outright.
+    """
+
+    return SpatialJammer(center=center, radius=radius, max_total_spend=max_total_spend)
 
 
 def spoofing_adversary(max_total_spend: Optional[float] = None) -> RequestSpoofingAdversary:

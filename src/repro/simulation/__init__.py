@@ -39,6 +39,15 @@ from .phaseplan import (
     clip_probability,
 )
 from .rng import RandomSource, derive_seed
+from .topology import (
+    GilbertGraph,
+    ScaleFreeGilbert,
+    SingleHop,
+    Topology,
+    TopologySpec,
+    build_topology,
+    gilbert_connectivity_radius,
+)
 
 __all__ = [
     "ALICE_ID",
@@ -59,6 +68,7 @@ __all__ = [
     "EnergyLedger",
     "EnergyOperation",
     "EventLog",
+    "GilbertGraph",
     "JamMode",
     "JamPlan",
     "JamTargeting",
@@ -83,11 +93,17 @@ __all__ = [
     "ReproError",
     "resource_competitive_ratio",
     "Role",
+    "ScaleFreeGilbert",
     "SimulationConfig",
     "SimulationError",
+    "SingleHop",
     "SlotAction",
     "SlotClock",
     "SlotEngine",
     "SlotEvent",
     "SlotResolution",
+    "Topology",
+    "TopologySpec",
+    "build_topology",
+    "gilbert_connectivity_radius",
 ]

@@ -15,17 +15,27 @@ The rules implemented here are exactly the paper's model (§1.1):
   listener only if nobody transmitted *and* that listener was not jammed;
 * a listener cannot hear its own transmission (senders never appear among
   listeners for the same slot).
+
+When the channel is constructed with a spatial
+:class:`~repro.simulation.topology.Topology`, audibility becomes per-listener:
+a listener only perceives transmissions from devices within radio range, so
+the same slot can deliver a message to one listener, collide for a second,
+and be silent for a third.  The single-hop (default) case takes exactly the
+pre-topology code path.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence
 
 from .errors import ProtocolViolationError
 from .messages import Message
 from .observation import Observation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .topology import Topology
 
 __all__ = ["JamTargeting", "JamMode", "Channel", "SlotResolution"]
 
@@ -105,7 +115,18 @@ class SlotResolution:
 
 
 class Channel:
-    """The shared single communication channel."""
+    """The shared communication channel, optionally over a spatial topology.
+
+    Parameters
+    ----------
+    topology:
+        ``None`` (or a single-hop topology) gives the paper's shared channel:
+        every transmission is audible to every listener.  A spatial topology
+        restricts audibility to radio range per listener.
+    """
+
+    def __init__(self, topology: Optional["Topology"] = None) -> None:
+        self.topology = topology
 
     def resolve_slot(
         self,
@@ -141,19 +162,29 @@ class Channel:
                 f"devices {sorted(overlap)} attempted to send and listen in the same slot"
             )
 
+        topology = self.topology
+        spatial = topology is not None and not topology.is_single_hop
+
         count = len(transmissions)
         observations: Dict[int, Observation] = {}
         for listener in listener_set:
             jammed = jam.affects(listener)
-            if count == 0:
+            if spatial:
+                audible = [
+                    frame for frame in transmissions if topology.can_hear(listener, frame.sender_id)
+                ]
+            else:
+                audible = transmissions
+            heard = len(audible)
+            if heard == 0:
                 observations[listener] = (
                     Observation.noise(slot) if jammed else Observation.silent(slot)
                 )
-            elif count == 1:
+            elif heard == 1:
                 observations[listener] = (
                     Observation.noise(slot)
                     if jammed
-                    else Observation.of_message(transmissions[0], slot)
+                    else Observation.of_message(audible[0], slot)
                 )
             else:
                 observations[listener] = Observation.noise(slot)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .errors import ConfigurationError
+from .topology import TopologySpec
 
 __all__ = ["SimulationConfig"]
 
@@ -58,6 +59,11 @@ class SimulationConfig:
         into saturation, so the default is ``1/64`` — the largest value for
         which the termination thresholds of Lemmas 4-7 still discriminate —
         and the achieved delivery fraction is *measured* rather than assumed.
+    topology:
+        Optional :class:`~repro.simulation.topology.TopologySpec` describing
+        the radio graph.  ``None`` (default) is the paper's single shared
+        channel; spatial specs (Gilbert / scale-free Gilbert) are realised
+        deterministically by the network from the run's seed.
     """
 
     n: int
@@ -68,6 +74,7 @@ class SimulationConfig:
     budget_constant: float = 16.0
     seed: int = 0
     epsilon_prime: Optional[float] = None
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -88,6 +95,10 @@ class SimulationConfig:
             )
         if self.seed < 0:
             raise ConfigurationError(f"seed must be non-negative, got {self.seed}")
+        if self.topology is not None and not isinstance(self.topology, TopologySpec):
+            raise ConfigurationError(
+                f"topology must be a TopologySpec or None, got {type(self.topology).__name__}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived quantities                                                  #
@@ -168,8 +179,11 @@ class SimulationConfig:
     def describe(self) -> str:
         """A compact human-readable summary used by reports and examples."""
 
-        return (
+        summary = (
             f"n={self.n}, f={self.f:g}, k={self.k}, eps={self.epsilon:g}, "
             f"node_budget={self.node_budget:.1f}, alice_budget={self.alice_budget:.1f}, "
             f"adversary_budget={self.adversary_total_budget:.1f}"
         )
+        if self.topology is not None and self.topology.kind != "single_hop":
+            summary += f", topology={self.topology.kind}"
+        return summary

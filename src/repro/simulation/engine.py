@@ -6,6 +6,13 @@ collisions and per-listener jamming, and energy is charged one unit at a time.
 It is the reference semantics — the vectorised
 :class:`~repro.simulation.fastengine.PhaseEngine` is validated against it — and
 it is the engine of choice for unit and property tests at small ``n``.
+
+Spatial topologies need no special handling here: the engine hands every
+slot's transmissions and listeners to the network's channel, and a channel
+built over a multi-hop :class:`~repro.simulation.topology.Topology` resolves
+per-listener audibility (who is in radio range of whom) by itself.  This
+keeps the slot engine exact under every topology, which is what the
+multi-hop statistical-equivalence tests validate the fast engine against.
 """
 
 from __future__ import annotations

@@ -25,6 +25,26 @@ Two deliberate, documented approximations (both validated against
   the phase (a truncated-geometric draw over its delivery opportunities,
   placed proportionally in the phase) rather than at the exact slot the slot
   engine would have chosen.
+
+Spatial topologies
+------------------
+
+Over a multi-hop :class:`~repro.simulation.topology.Topology` the aggregate
+shortcut above no longer applies — what a listener hears depends on *which*
+of its neighbours transmitted.  :meth:`PhaseEngine._run_phase_multihop`
+therefore samples per-device send/listen indicator matrices and resolves
+audibility with per-node reachability masks (boolean adjacency matmuls), so
+delivery, noise, and informed-truncation are computed per listener from its
+actual radio neighbourhood.  Memory is ``O(n·slots)``.  Remaining documented
+approximations of the multi-hop path (validated statistically against the
+slot engine):
+
+* a node informed mid-phase stops listening and nacking immediately (exact),
+  but other listeners keep "hearing" its pre-sampled nack/decoy schedule for
+  the rest of the phase (in the protocol's schedules nacks and payload never
+  share a phase, so this only perturbs decoy-variant noise counts);
+* decoy senders that become informed mid-phase keep sending decoys until the
+  phase ends (the slot engine mutes them).
 """
 
 from __future__ import annotations
@@ -71,6 +91,10 @@ class PhaseEngine:
         if s == 0:
             return PhaseResult(plan=plan, newly_informed=frozenset(), jammed_slots=0, adversary_spend=0.0)
 
+        topology = network.topology
+        if topology is not None and not topology.is_single_hop:
+            return self._run_phase_multihop(plan, roles, jam_plan, start_slot)
+
         uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
         relays = np.array(sorted(roles.relays), dtype=np.int64)
         decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
@@ -100,44 +124,13 @@ class PhaseEngine:
         # ------------------------------------------------------------------ #
         # 2. Adversary actions (jamming + spoofed transmissions)              #
         # ------------------------------------------------------------------ #
-        adversary_ledger = network.adversary_ledger
-        jam_offsets = materialize_jam_slots(jam_plan, s, rng, activity_mask=correct_activity)
-        affordable_jams = int(min(len(jam_offsets), np.floor(adversary_ledger.remaining)))
-        jam_offsets = jam_offsets[:affordable_jams]
-        jam_spend = adversary_ledger.charge_bulk(EnergyOperation.JAM, float(len(jam_offsets)))
-        jam_offsets = jam_offsets[: int(jam_spend)]
-        jam_mask = np.zeros(s, dtype=bool)
-        jam_mask[jam_offsets] = True
-
-        spoof_payload = materialize_spoof_slots(
-            jam_plan.spoof_payload_slots, s, rng, exclude=jam_offsets.tolist()
-        )
-        spoof_nack = materialize_spoof_slots(
-            jam_plan.spoof_nack_slots,
-            s,
-            rng,
-            exclude=jam_offsets.tolist() + spoof_payload.tolist(),
-        )
-        spoof_budget = adversary_ledger.charge_bulk(
-            EnergyOperation.SPOOF, float(len(spoof_payload) + len(spoof_nack))
-        )
-        # If the budget truncated the spoofs, drop from the nack spoofs first
-        # (arbitrary but deterministic).
-        total_spoofs = int(spoof_budget)
-        keep_payload = min(len(spoof_payload), total_spoofs)
-        keep_nack = min(len(spoof_nack), total_spoofs - keep_payload)
-        spoof_payload = spoof_payload[:keep_payload]
-        spoof_nack = spoof_nack[:keep_nack]
-
-        spoof_counts = np.zeros(s, dtype=np.int64)
-        if len(spoof_payload):
-            spoof_counts[spoof_payload] += 1
-        if len(spoof_nack):
-            spoof_counts[spoof_nack] += 1
-
-        adversary_spend = float(jam_spend + spoof_budget)
-        jammed_slots = int(jam_mask.sum())
-        spoofed_transmissions = int(len(spoof_payload) + len(spoof_nack))
+        (
+            jam_mask,
+            spoof_counts,
+            adversary_spend,
+            jammed_slots,
+            spoofed_transmissions,
+        ) = self._materialize_adversary_actions(jam_plan, s, rng, correct_activity)
 
         total_tx = correct_tx + spoof_counts
         busy_slots = int(np.count_nonzero((total_tx > 0) | jam_mask))
@@ -262,8 +255,284 @@ class PhaseEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Multi-hop (spatial-topology) execution                              #
+    # ------------------------------------------------------------------ #
+
+    def _run_phase_multihop(
+        self,
+        plan: PhasePlan,
+        roles: PhaseRoles,
+        jam_plan: JamPlan,
+        start_slot: int = 0,
+    ) -> PhaseResult:
+        """Vectorised execution over a spatial topology.
+
+        Samples per-device send/listen indicators and resolves per-listener
+        audibility through the topology's reachability masks; see the module
+        docstring for the (documented) approximations.
+        """
+
+        network = self.network
+        topology = network.topology
+        rng = self._rng
+        s = plan.num_slots
+        f32 = np.float32
+
+        uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
+        relays = np.array(sorted(roles.relays), dtype=np.int64)
+        decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
+        num_u, num_r, num_d = uninformed.size, relays.size, decoys.size
+
+        # ------------------------------------------------------------------ #
+        # 1. Per-device send/listen indicator matrices                        #
+        # ------------------------------------------------------------------ #
+        alice_sends = np.zeros(s, dtype=bool)
+        if roles.alice_active and plan.alice_send_prob > 0:
+            alice_sends = rng.random(s) < plan.alice_send_prob
+
+        relay_sends = np.zeros((num_r, s), dtype=bool)
+        if num_r and plan.relay_send_prob > 0:
+            relay_sends = rng.random((num_r, s)) < plan.relay_send_prob
+
+        nack_sends = np.zeros((num_u, s), dtype=bool)
+        listen_mask = np.zeros((num_u, s), dtype=bool)
+        if num_u:
+            if plan.nack_send_prob > 0:
+                nack_sends = rng.random((num_u, s)) < plan.nack_send_prob
+            if plan.uninformed_listen_prob > 0:
+                listen_mask = ~nack_sends & (rng.random((num_u, s)) < plan.uninformed_listen_prob)
+
+        decoy_sends = np.zeros((num_d, s), dtype=bool)
+        if num_d and plan.decoy_send_prob > 0:
+            decoy_sends = rng.random((num_d, s)) < plan.decoy_send_prob
+            if num_u:
+                # Half-duplex, mirroring the slot engine: a decoy sender that
+                # chose a nack keeps the nack; one that chose to listen
+                # transmits the decoy and forfeits the observation (the slot
+                # costs one unit either way).
+                position = {int(node): idx for idx, node in enumerate(uninformed)}
+                shared = [
+                    (d_idx, position[int(node)])
+                    for d_idx, node in enumerate(decoys)
+                    if int(node) in position
+                ]
+                if shared:
+                    d_rows = np.array([d for d, _ in shared], dtype=np.int64)
+                    u_rows = np.array([u for _, u in shared], dtype=np.int64)
+                    decoy_sends[d_rows] &= ~nack_sends[u_rows]
+                    listen_mask[u_rows] &= ~decoy_sends[d_rows]
+
+        # ------------------------------------------------------------------ #
+        # 2. Adversary actions (jamming + spoofed transmissions)              #
+        # ------------------------------------------------------------------ #
+        correct_tx = (
+            alice_sends.astype(np.int64)
+            + relay_sends.sum(axis=0)
+            + nack_sends.sum(axis=0)
+            + decoy_sends.sum(axis=0)
+        )
+        correct_activity = correct_tx > 0
+
+        (
+            jam_mask,
+            spoof_counts,
+            adversary_spend,
+            jammed_slots,
+            spoofed_transmissions,
+        ) = self._materialize_adversary_actions(jam_plan, s, rng, correct_activity)
+        busy_slots = int(np.count_nonzero((correct_tx + spoof_counts > 0) | jam_mask))
+
+        # ------------------------------------------------------------------ #
+        # 3. Per-listener audibility through reachability masks               #
+        # ------------------------------------------------------------------ #
+        newly_informed: Set[int] = set()
+        node_noisy: Dict[int, int] = {}
+        delivery_slots = 0
+        if num_u:
+            # Authentic payload copies audible to each listener: Alice's sends
+            # if she is in range, plus in-range relays (spoofed "payloads" are
+            # unauthenticated and counted as noise below).
+            hears_alice = topology.reach_matrix_f32(uninformed, [ALICE_ID])
+            payload_heard = hears_alice * alice_sends.astype(f32)[None, :]
+            if num_r and plan.relay_send_prob > 0:
+                payload_heard += topology.reach_matrix_f32(uninformed, relays) @ relay_sends.astype(
+                    f32
+                )
+
+            other_heard = np.zeros((num_u, s), dtype=f32)
+            if spoofed_transmissions:
+                other_heard += spoof_counts.astype(f32)[None, :]
+            if plan.nack_send_prob > 0:
+                # Zero diagonal in the reach matrix: no one hears its own nack.
+                other_heard += topology.reach_matrix_f32(uninformed, uninformed) @ nack_sends.astype(
+                    f32
+                )
+            if num_d and plan.decoy_send_prob > 0:
+                other_heard += topology.reach_matrix_f32(uninformed, decoys) @ decoy_sends.astype(
+                    f32
+                )
+
+            jam_affects_listeners = jam_plan.targeting.mode is not JamMode.NONE
+            victim = (
+                self._victim_mask(uninformed, jam_plan)
+                if jam_affects_listeners
+                else np.zeros(num_u, dtype=bool)
+            )
+            jam_for_node = jam_mask[None, :] & victim[:, None]
+
+            clean_delivery = (payload_heard == 1) & (other_heard == 0) & ~jam_for_node
+
+            active_until = np.full(num_u, s - 1, dtype=np.int64)
+            if plan.carries_payload and plan.uninformed_listen_prob > 0:
+                opportunity = listen_mask & clean_delivery
+                informed_mask = opportunity.any(axis=1)
+                if informed_mask.any():
+                    first_slot = opportunity.argmax(axis=1)
+                    active_until[informed_mask] = first_slot[informed_mask]
+                    newly_informed = set(int(x) for x in uninformed[informed_mask])
+                    delivery_slots = int(np.unique(first_slot[informed_mask]).size)
+
+            cols = np.arange(s, dtype=np.int64)
+            active = cols[None, :] <= active_until[:, None]
+
+            noisy_slot = jam_for_node | ((payload_heard + other_heard > 0) & ~clean_delivery)
+            heard_noisy = (listen_mask & active & noisy_slot).sum(axis=1)
+            listen_cost = (listen_mask & active).sum(axis=1)
+            nack_cost = (nack_sends & active).sum(axis=1)
+
+            for idx in range(num_u):
+                node_id = int(uninformed[idx])
+                ledger = network.nodes[node_id].ledger
+                if listen_cost[idx]:
+                    ledger.charge_bulk(EnergyOperation.LISTEN, float(listen_cost[idx]))
+                if nack_cost[idx]:
+                    ledger.charge_bulk(EnergyOperation.SEND, float(nack_cost[idx]))
+                if plan.kind is PhaseKind.REQUEST:
+                    node_noisy[node_id] = int(heard_noisy[idx])
+
+        # ------------------------------------------------------------------ #
+        # 4. Alice                                                            #
+        # ------------------------------------------------------------------ #
+        alice_send_slots = int(np.count_nonzero(alice_sends))
+        if alice_send_slots:
+            network.alice.ledger.charge_bulk(EnergyOperation.SEND, float(alice_send_slots))
+
+        alice_noisy = 0
+        alice_listen_slots = 0
+        if roles.alice_active and plan.alice_listen_prob > 0:
+            alice_listens = (rng.random(s) < plan.alice_listen_prob) & ~alice_sends
+            audible_alice = np.zeros(s, dtype=f32)
+            if spoofed_transmissions:
+                audible_alice += spoof_counts.astype(f32)
+            if num_r and plan.relay_send_prob > 0:
+                audible_alice += (
+                    topology.reach_matrix_f32([ALICE_ID], relays) @ relay_sends.astype(f32)
+                )[0]
+            if num_u and plan.nack_send_prob > 0:
+                audible_alice += (
+                    topology.reach_matrix_f32([ALICE_ID], uninformed) @ nack_sends.astype(f32)
+                )[0]
+            if num_d and plan.decoy_send_prob > 0:
+                audible_alice += (
+                    topology.reach_matrix_f32([ALICE_ID], decoys) @ decoy_sends.astype(f32)
+                )[0]
+            jam_for_alice = (
+                jam_mask if jam_plan.targeting.affects(ALICE_ID) else np.zeros(s, dtype=bool)
+            )
+            alice_noisy = int((alice_listens & ((audible_alice > 0) | jam_for_alice)).sum())
+            alice_listen_slots = int(alice_listens.sum())
+            if alice_listen_slots:
+                network.alice.ledger.charge_bulk(EnergyOperation.LISTEN, float(alice_listen_slots))
+
+        # ------------------------------------------------------------------ #
+        # 5. Relay and decoy send costs (exact row sums)                      #
+        # ------------------------------------------------------------------ #
+        if num_r:
+            relay_cost = relay_sends.sum(axis=1)
+            for idx, node_id in enumerate(relays):
+                if relay_cost[idx]:
+                    network.nodes[int(node_id)].ledger.charge_bulk(
+                        EnergyOperation.SEND, float(relay_cost[idx])
+                    )
+        if num_d:
+            decoy_cost = decoy_sends.sum(axis=1)
+            for idx, node_id in enumerate(decoys):
+                if decoy_cost[idx]:
+                    network.nodes[int(node_id)].ledger.charge_bulk(
+                        EnergyOperation.SEND, float(decoy_cost[idx])
+                    )
+
+        return PhaseResult(
+            plan=plan,
+            newly_informed=frozenset(newly_informed),
+            jammed_slots=jammed_slots,
+            adversary_spend=adversary_spend,
+            alice_noisy_heard=alice_noisy,
+            node_noisy_heard=node_noisy,
+            delivery_slots=delivery_slots,
+            busy_slots=busy_slots,
+            alice_send_slots=alice_send_slots,
+            alice_listen_slots=alice_listen_slots,
+            spoofed_transmissions=spoofed_transmissions,
+        )
+
+    # ------------------------------------------------------------------ #
     # Internals                                                           #
     # ------------------------------------------------------------------ #
+
+    def _materialize_adversary_actions(
+        self,
+        jam_plan: JamPlan,
+        s: int,
+        rng: np.random.Generator,
+        correct_activity: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, float, int, int]":
+        """Materialise jamming and spoofing for one phase under the budget.
+
+        Shared by the single-hop and multi-hop paths so the truncation rules
+        (jams charged first; spoof truncation drops nack spoofs before
+        payload spoofs — arbitrary but deterministic) cannot diverge.
+        Returns ``(jam_mask, spoof_counts, adversary_spend, jammed_slots,
+        spoofed_transmissions)``.
+        """
+
+        adversary_ledger = self.network.adversary_ledger
+        jam_offsets = materialize_jam_slots(jam_plan, s, rng, activity_mask=correct_activity)
+        affordable_jams = int(min(len(jam_offsets), np.floor(adversary_ledger.remaining)))
+        jam_offsets = jam_offsets[:affordable_jams]
+        jam_spend = adversary_ledger.charge_bulk(EnergyOperation.JAM, float(len(jam_offsets)))
+        jam_offsets = jam_offsets[: int(jam_spend)]
+        jam_mask = np.zeros(s, dtype=bool)
+        jam_mask[jam_offsets] = True
+
+        spoof_payload = materialize_spoof_slots(
+            jam_plan.spoof_payload_slots, s, rng, exclude=jam_offsets.tolist()
+        )
+        spoof_nack = materialize_spoof_slots(
+            jam_plan.spoof_nack_slots,
+            s,
+            rng,
+            exclude=jam_offsets.tolist() + spoof_payload.tolist(),
+        )
+        spoof_budget = adversary_ledger.charge_bulk(
+            EnergyOperation.SPOOF, float(len(spoof_payload) + len(spoof_nack))
+        )
+        total_spoofs = int(spoof_budget)
+        keep_payload = min(len(spoof_payload), total_spoofs)
+        keep_nack = min(len(spoof_nack), total_spoofs - keep_payload)
+        spoof_payload = spoof_payload[:keep_payload]
+        spoof_nack = spoof_nack[:keep_nack]
+
+        spoof_counts = np.zeros(s, dtype=np.int64)
+        if len(spoof_payload):
+            spoof_counts[spoof_payload] += 1
+        if len(spoof_nack):
+            spoof_counts[spoof_nack] += 1
+
+        adversary_spend = float(jam_spend + spoof_budget)
+        jammed_slots = int(jam_mask.sum())
+        spoofed_transmissions = int(len(spoof_payload) + len(spoof_nack))
+        return jam_mask, spoof_counts, adversary_spend, jammed_slots, spoofed_transmissions
 
     @staticmethod
     def _truncate_informed_listening(

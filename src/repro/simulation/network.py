@@ -19,6 +19,7 @@ from .energy import BudgetPolicy, EnergyLedger
 from .errors import ConfigurationError
 from .node import Device, Role
 from .rng import RandomSource
+from .topology import Topology, build_topology
 
 __all__ = ["Network"]
 
@@ -36,6 +37,11 @@ class Network:
         When ``True`` (default) the adversary ledger uses the ``CAP`` policy,
         so Carol physically cannot jam once her aggregate budget is exhausted
         — exactly the mechanism Lemma 11 relies on.
+    topology:
+        Optional pre-built :class:`~repro.simulation.topology.Topology`.
+        When omitted, the topology is realised from ``config.topology``
+        (single-hop when that is ``None``) using the network's own seeded
+        random source, so runs stay a pure function of the seed.
     """
 
     def __init__(
@@ -43,10 +49,19 @@ class Network:
         config: SimulationConfig,
         seed: int | None = None,
         enforce_adversary_budget: bool = True,
+        topology: Topology | None = None,
     ) -> None:
         self.config = config
         self.random_source = RandomSource(config.seed if seed is None else seed)
-        self.channel = Channel()
+        if topology is not None:
+            if topology.n != config.n:
+                raise ConfigurationError(
+                    f"topology is over n={topology.n} nodes but config has n={config.n}"
+                )
+            self.topology = topology
+        else:
+            self.topology = build_topology(config.topology, config.n, self.random_source)
+        self.channel = Channel(topology=self.topology)
         self.authenticator = Authenticator()
         self.message_payload = "m"
         self.message_signature = self.authenticator.sign(self.message_payload)

@@ -16,6 +16,7 @@ recommended mechanism for statistically independent child generators.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional
 
 import numpy as np
@@ -23,6 +24,17 @@ import numpy as np
 from .errors import ConfigurationError
 
 __all__ = ["RandomSource", "derive_seed"]
+
+
+def _stable_label_hash(label: object) -> int:
+    """A process-independent 32-bit hash of a stream label.
+
+    The built-in ``hash`` is salted per interpreter process for strings, which
+    would make runs reproducible only within a single process; CRC-32 of the
+    label's ``repr`` is stable everywhere.
+    """
+
+    return zlib.crc32(repr(label).encode("utf-8")) & 0xFFFFFFFF
 
 
 def derive_seed(seed: int, *labels: object) -> int:
@@ -35,7 +47,7 @@ def derive_seed(seed: int, *labels: object) -> int:
 
     entropy = [seed & 0xFFFFFFFF]
     for label in labels:
-        entropy.append(hash(label) & 0xFFFFFFFF)
+        entropy.append(_stable_label_hash(label))
     seq = np.random.SeedSequence(entropy)
     return int(seq.generate_state(1, dtype=np.uint32)[0])
 
@@ -77,7 +89,7 @@ class RandomSource:
 
         if name not in self._streams:
             child = np.random.SeedSequence(
-                [self._seed & 0xFFFFFFFF, hash(name) & 0xFFFFFFFF]
+                [self._seed & 0xFFFFFFFF, _stable_label_hash(name)]
             )
             self._spawned[name] = child
             self._streams[name] = np.random.default_rng(child)

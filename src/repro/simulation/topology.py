@@ -1,0 +1,543 @@
+"""Spatial network topologies: single-hop, Gilbert graphs, and scale-free variants.
+
+The paper's game is played on a *single shared channel* — every transmission
+is audible to every listener.  Its motivating setting, however, is a dense
+sensor network deployed over an area, where radios have limited range and the
+message must travel multiple hops.  This module supplies the spatial layer:
+
+* :class:`SingleHop` — the seed model.  Every device hears every other
+  device; the topology layer is a no-op and both engines take exactly the
+  code paths they took before topologies existed (bit-identical outcomes).
+* :class:`GilbertGraph` — the classical random geometric graph of Gilbert
+  (1961): ``n`` points placed uniformly at random in the unit square, with an
+  edge between two devices iff their Euclidean distance is at most a radius
+  ``r``.  The connectivity threshold sits at ``r_c = sqrt(ln n / (π n))``
+  (see "Limit theory for the Gilbert graph", arXiv:1312.4861): below it the
+  graph shatters into components, above it it is connected w.h.p.
+* :class:`ScaleFreeGilbert` — a heavy-tailed variant in the spirit of "From
+  heavy-tailed Boolean models to scale-free Gilbert graphs"
+  (arXiv:1411.6824): each device draws its own radio radius from a Pareto
+  distribution, and ``u ~ v`` iff ``dist(u, v) <= max(r_u, r_v)``.  Nodes
+  with large radii become hubs, producing a power-law degree tail.
+
+Model notes and deliberate approximations
+-----------------------------------------
+
+* Radio links are **symmetric**: ``u`` hears ``v`` iff ``v`` hears ``u``.
+  For :class:`ScaleFreeGilbert` this means the *stronger* radio of a pair
+  carries the link both ways (the undirected ``max`` convention; the cited
+  paper also studies directed and ``min`` variants).
+* Alice is a device with a position like any other; by default she is placed
+  at the centre of the unit square so radius sweeps are comparable across
+  seeds (``alice_placement="random"`` samples her position instead).
+* Byzantine/spoofed transmitters (synthetic sender ids ``<= -2``) are
+  assumed audible everywhere: Carol controls ``f·n`` devices and the model
+  grants her one wherever it hurts most.  Jamming, by contrast, can be made
+  *spatial* via :meth:`Topology.nodes_in_disk`, which resolves a disk of the
+  deployment area into the listener set for
+  :class:`~repro.simulation.channel.JamTargeting`.
+* Topology generation draws from the dedicated ``"topology"`` substream of
+  the network's :class:`~repro.simulation.rng.RandomSource`, so enabling a
+  spatial topology never perturbs the engines' random streams.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .auth import ALICE_ID
+from .errors import ConfigurationError
+
+__all__ = [
+    "Topology",
+    "SingleHop",
+    "GilbertGraph",
+    "ScaleFreeGilbert",
+    "TopologySpec",
+    "build_topology",
+    "gilbert_connectivity_radius",
+]
+
+
+def gilbert_connectivity_radius(n: int) -> float:
+    """The Gilbert-graph connectivity threshold ``sqrt(ln n / (π n))``.
+
+    For uniform points in the unit square the graph is connected w.h.p. when
+    the radius exceeds this value by any constant factor, and disconnected
+    below it (Penrose; see arXiv:1312.4861 for the sparse-regime limit
+    theory).  Experiments sweep multiples of this radius to cross the
+    threshold.
+    """
+
+    if n < 2:
+        raise ConfigurationError(f"connectivity radius needs n >= 2, got {n}")
+    return math.sqrt(math.log(n) / (math.pi * n))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative description of a topology, carried by ``SimulationConfig``.
+
+    Keeping the *spec* (not the realised graph) on the configuration keeps
+    configurations hashable, comparable, and serialisable; the
+    :class:`~repro.simulation.network.Network` realises the spec
+    deterministically from its own seeded random source.
+
+    Attributes
+    ----------
+    kind:
+        ``"single_hop"``, ``"gilbert"``, or ``"scale_free"``.
+    radius:
+        Connection radius for ``"gilbert"``; defaults to twice the
+        connectivity threshold (comfortably connected).
+    alpha:
+        Pareto tail exponent for ``"scale_free"`` radii (smaller = heavier
+        tail = more pronounced hubs).
+    min_radius:
+        Pareto scale (minimum radius) for ``"scale_free"``; defaults to the
+        connectivity-threshold radius.
+    alice_placement:
+        ``"center"`` (default) pins Alice to (0.5, 0.5); ``"random"`` samples
+        her position like any node.
+    """
+
+    kind: str = "single_hop"
+    radius: Optional[float] = None
+    alpha: float = 2.5
+    min_radius: Optional[float] = None
+    alice_placement: str = "center"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single_hop", "gilbert", "scale_free"):
+            raise ConfigurationError(
+                f"topology kind must be one of 'single_hop', 'gilbert', 'scale_free'; "
+                f"got {self.kind!r}"
+            )
+        if self.radius is not None and self.radius <= 0:
+            raise ConfigurationError(f"radius must be positive, got {self.radius}")
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.min_radius is not None and self.min_radius <= 0:
+            raise ConfigurationError(f"min_radius must be positive, got {self.min_radius}")
+        if self.alice_placement not in ("center", "random"):
+            raise ConfigurationError(
+                f"alice_placement must be 'center' or 'random', got {self.alice_placement!r}"
+            )
+
+    @staticmethod
+    def single_hop() -> "TopologySpec":
+        return TopologySpec(kind="single_hop")
+
+    @staticmethod
+    def gilbert(radius: Optional[float] = None, alice_placement: str = "center") -> "TopologySpec":
+        return TopologySpec(kind="gilbert", radius=radius, alice_placement=alice_placement)
+
+    @staticmethod
+    def scale_free(
+        alpha: float = 2.5,
+        min_radius: Optional[float] = None,
+        alice_placement: str = "center",
+    ) -> "TopologySpec":
+        return TopologySpec(
+            kind="scale_free", alpha=alpha, min_radius=min_radius, alice_placement=alice_placement
+        )
+
+
+class Topology(abc.ABC):
+    """Who can hear whom.
+
+    Device addressing follows the rest of the simulator: correct nodes are
+    ``0 .. n-1`` and Alice is :data:`~repro.simulation.auth.ALICE_ID` (-1).
+    Synthetic adversarial sender ids (``<= -2``) are audible everywhere.
+    """
+
+    name: str = "topology"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"topology needs at least one node, got n={n}")
+        self.n = n
+
+    # ------------------------------------------------------------------ #
+    # Core audibility interface                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_single_hop(self) -> bool:
+        """Whether every device hears every other device (the seed model)."""
+
+        return False
+
+    def _index(self, device_id: int) -> int:
+        """Map a device id to its row in the adjacency matrix (Alice last)."""
+
+        if device_id == ALICE_ID:
+            return self.n
+        if 0 <= device_id < self.n:
+            return device_id
+        raise ConfigurationError(f"unknown device id {device_id} for topology over n={self.n}")
+
+    @abc.abstractmethod
+    def can_hear(self, listener_id: int, sender_id: int) -> bool:
+        """Whether ``listener_id`` receives a transmission by ``sender_id``."""
+
+    @abc.abstractmethod
+    def reach_matrix(self, listener_ids: Sequence[int], sender_ids: Sequence[int]) -> np.ndarray:
+        """Boolean matrix ``M[i, j]`` = listener ``i`` hears sender ``j``.
+
+        Self-pairs are always ``False`` (a radio never hears itself).
+        Synthetic Byzantine sender ids (``<= -2``) yield all-``True`` columns:
+        the model grants Carol a transmitter wherever it hurts most.
+        """
+
+    def reach_matrix_f32(
+        self, listener_ids: Sequence[int], sender_ids: Sequence[int]
+    ) -> np.ndarray:
+        """``reach_matrix`` as float32, ready for matmul accumulation.
+
+        Spatial subclasses slice a cached float32 cast of the adjacency so
+        vectorised engines do not re-convert the immutable graph every phase.
+        """
+
+        return self.reach_matrix(listener_ids, sender_ids).astype(np.float32)
+
+    @abc.abstractmethod
+    def neighbors(self, device_id: int) -> FrozenSet[int]:
+        """All device ids audible from ``device_id`` (may include Alice)."""
+
+    def node_neighbors(self, device_id: int) -> FrozenSet[int]:
+        """Correct-node neighbours only (Alice excluded)."""
+
+        return frozenset(v for v in self.neighbors(device_id) if v != ALICE_ID)
+
+    # ------------------------------------------------------------------ #
+    # Spatial queries (used by spatial jamming and experiments)           #
+    # ------------------------------------------------------------------ #
+
+    def position(self, device_id: int) -> Optional[Tuple[float, float]]:
+        """The device's position in the unit square, or ``None`` if aspatial."""
+
+        return None
+
+    def nodes_in_disk(self, center: Tuple[float, float], radius: float) -> FrozenSet[int]:
+        """Device ids (nodes, plus Alice if she is inside) within a disk.
+
+        This is how a *spatial* Carol targets her jamming: instead of the
+        paper's global channel blast, she blankets a disk of the deployment
+        area, and only listeners inside it perceive noise.  Aspatial
+        topologies return every device (a disk over a clique is the clique).
+        """
+
+        return frozenset(range(self.n)) | {ALICE_ID}
+
+    # ------------------------------------------------------------------ #
+    # Graph statistics (used by property tests and experiments)           #
+    # ------------------------------------------------------------------ #
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degree counting correct-node neighbours only."""
+
+        return np.array([len(self.node_neighbors(u)) for u in range(self.n)], dtype=np.int64)
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """Connected components of the node-node graph (Alice excluded)."""
+
+        seen = [False] * self.n
+        components: List[FrozenSet[int]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = {start}
+            while stack:
+                u = stack.pop()
+                for v in self.node_neighbors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        component.add(v)
+                        stack.append(v)
+            components.append(frozenset(component))
+        return components
+
+    def largest_component_fraction(self) -> float:
+        """Size of the largest node component as a fraction of ``n``."""
+
+        if self.n == 0:
+            return 0.0
+        return max(len(c) for c in self.connected_components()) / self.n
+
+    def reachable_from_alice(self) -> FrozenSet[int]:
+        """Node ids connected to Alice through the radio graph.
+
+        An upper bound on who can ever be informed: the message spreads only
+        along edges, so nodes outside Alice's component are unreachable no
+        matter how many hops relays provide.
+        """
+
+        frontier = [v for v in self.neighbors(ALICE_ID) if v != ALICE_ID]
+        seen = set(frontier)
+        while frontier:
+            u = frontier.pop()
+            for v in self.node_neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class SingleHop(Topology):
+    """The seed model: one shared channel, everyone hears everyone.
+
+    This class exists so the rest of the stack can treat topology uniformly;
+    both engines and the channel check :attr:`is_single_hop` and take their
+    original code paths, keeping seed outcomes bit-identical.
+    """
+
+    name = "single_hop"
+
+    @property
+    def is_single_hop(self) -> bool:
+        return True
+
+    def can_hear(self, listener_id: int, sender_id: int) -> bool:
+        return listener_id != sender_id
+
+    def reach_matrix(self, listener_ids: Sequence[int], sender_ids: Sequence[int]) -> np.ndarray:
+        listeners = np.asarray(list(listener_ids), dtype=np.int64)
+        senders = np.asarray(list(sender_ids), dtype=np.int64)
+        return listeners[:, None] != senders[None, :]
+
+    def neighbors(self, device_id: int) -> FrozenSet[int]:
+        self._index(device_id)
+        everyone = set(range(self.n)) | {ALICE_ID}
+        everyone.discard(device_id)
+        return frozenset(everyone)
+
+
+class _SpatialTopology(Topology):
+    """Shared implementation for position-based topologies.
+
+    Subclasses provide positions (rows ``0..n-1`` for nodes, row ``n`` for
+    Alice) and a symmetric boolean adjacency with a zero diagonal.
+    """
+
+    def __init__(self, positions: np.ndarray, adjacency: np.ndarray) -> None:
+        n = positions.shape[0] - 1
+        super().__init__(n)
+        if positions.shape != (n + 1, 2):
+            raise ConfigurationError(f"positions must have shape (n+1, 2), got {positions.shape}")
+        if adjacency.shape != (n + 1, n + 1):
+            raise ConfigurationError(f"adjacency must have shape (n+1, n+1), got {adjacency.shape}")
+        self._positions = positions
+        self._adjacency = adjacency
+        # The graph is immutable after construction, and the multi-hop relay
+        # layer asks for the same neighbourhoods every phase — memoise them,
+        # along with the float32 cast the vectorised engine matmuls against.
+        self._neighbor_cache: dict = {}
+        self._node_neighbor_cache: dict = {}
+        self._adjacency_f32: Optional[np.ndarray] = None
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Copy of all positions; row ``n`` is Alice."""
+
+        return self._positions.copy()
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Copy of the full (n+1)×(n+1) boolean adjacency; row ``n`` is Alice."""
+
+        return self._adjacency.copy()
+
+    def can_hear(self, listener_id: int, sender_id: int) -> bool:
+        if sender_id <= -2:  # synthetic Byzantine transmitter: audible everywhere
+            return True
+        return bool(self._adjacency[self._index(listener_id), self._index(sender_id)])
+
+    def _reach_from(
+        self, matrix: np.ndarray, listener_ids: Sequence[int], sender_ids: Sequence[int]
+    ) -> np.ndarray:
+        l_idx = np.array([self._index(d) for d in listener_ids], dtype=np.int64)
+        senders = np.asarray(list(sender_ids), dtype=np.int64)
+        out = np.zeros((l_idx.size, senders.size), dtype=matrix.dtype)
+        if l_idx.size == 0 or senders.size == 0:
+            return out
+        byzantine = senders <= -2  # synthetic transmitters: audible everywhere
+        out[:, byzantine] = 1
+        real = ~byzantine
+        if real.any():
+            s_idx = np.array([self._index(int(d)) for d in senders[real]], dtype=np.int64)
+            out[:, real] = matrix[np.ix_(l_idx, s_idx)]
+        return out
+
+    def reach_matrix(self, listener_ids: Sequence[int], sender_ids: Sequence[int]) -> np.ndarray:
+        return self._reach_from(self._adjacency, listener_ids, sender_ids)
+
+    def reach_matrix_f32(
+        self, listener_ids: Sequence[int], sender_ids: Sequence[int]
+    ) -> np.ndarray:
+        if self._adjacency_f32 is None:
+            self._adjacency_f32 = self._adjacency.astype(np.float32)
+        return self._reach_from(self._adjacency_f32, listener_ids, sender_ids)
+
+    def neighbors(self, device_id: int) -> FrozenSet[int]:
+        cached = self._neighbor_cache.get(device_id)
+        if cached is None:
+            row = self._adjacency[self._index(device_id)]
+            ids = np.flatnonzero(row)
+            cached = frozenset(ALICE_ID if int(i) == self.n else int(i) for i in ids)
+            self._neighbor_cache[device_id] = cached
+        return cached
+
+    def node_neighbors(self, device_id: int) -> FrozenSet[int]:
+        cached = self._node_neighbor_cache.get(device_id)
+        if cached is None:
+            cached = frozenset(v for v in self.neighbors(device_id) if v != ALICE_ID)
+            self._node_neighbor_cache[device_id] = cached
+        return cached
+
+    def position(self, device_id: int) -> Tuple[float, float]:
+        x, y = self._positions[self._index(device_id)]
+        return (float(x), float(y))
+
+    def nodes_in_disk(self, center: Tuple[float, float], radius: float) -> FrozenSet[int]:
+        if radius < 0:
+            raise ConfigurationError(f"disk radius must be non-negative, got {radius}")
+        deltas = self._positions - np.asarray(center, dtype=float)[None, :]
+        inside = np.flatnonzero((deltas ** 2).sum(axis=1) <= radius ** 2)
+        return frozenset(ALICE_ID if int(i) == self.n else int(i) for i in inside)
+
+    def degrees(self) -> np.ndarray:
+        return self._adjacency[: self.n, : self.n].sum(axis=1).astype(np.int64)
+
+
+def _sample_positions(n: int, rng: np.random.Generator, alice_placement: str) -> np.ndarray:
+    positions = np.empty((n + 1, 2), dtype=float)
+    positions[:n] = rng.random((n, 2))
+    if alice_placement == "center":
+        positions[n] = (0.5, 0.5)
+    else:
+        positions[n] = rng.random(2)
+    return positions
+
+
+class GilbertGraph(_SpatialTopology):
+    """Random geometric (Gilbert) graph over the unit square.
+
+    ``u ~ v`` iff ``dist(u, v) <= radius``; positions are uniform i.i.d.
+    Use :meth:`sample` to build one deterministically from a generator.
+    """
+
+    name = "gilbert"
+
+    def __init__(self, positions: np.ndarray, radius: float) -> None:
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be positive, got {radius}")
+        distances_sq = _pairwise_sq_distances(positions)
+        adjacency = distances_sq <= radius ** 2
+        np.fill_diagonal(adjacency, False)
+        super().__init__(positions, adjacency)
+        self.radius = radius
+
+    @classmethod
+    def sample(
+        cls,
+        n: int,
+        radius: float,
+        rng: np.random.Generator,
+        alice_placement: str = "center",
+    ) -> "GilbertGraph":
+        return cls(_sample_positions(n, rng, alice_placement), radius)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GilbertGraph(n={self.n}, radius={self.radius:.4f})"
+
+
+class ScaleFreeGilbert(_SpatialTopology):
+    """Heavy-tailed Gilbert graph: per-device Pareto radii, ``max`` linkage.
+
+    Each device ``u`` draws ``r_u = min_radius · U^(-1/alpha)`` (Pareto with
+    scale ``min_radius`` and tail index ``alpha``); ``u ~ v`` iff
+    ``dist(u, v) <= max(r_u, r_v)``.  A device whose radius covers area ``A``
+    links to roughly ``n·A`` others, so Pareto radii translate into a
+    power-law degree tail — the scale-free Gilbert construction of
+    arXiv:1411.6824 (undirected ``max`` convention; radii are truncated at
+    ``sqrt(2)``, the diameter of the unit square, which only affects the
+    extreme tail).
+    """
+
+    name = "scale_free"
+
+    def __init__(self, positions: np.ndarray, radii: np.ndarray, alpha: float, min_radius: float) -> None:
+        if radii.shape[0] != positions.shape[0]:
+            raise ConfigurationError("one radius per device (including Alice) is required")
+        distances_sq = _pairwise_sq_distances(positions)
+        link_radius = np.maximum(radii[:, None], radii[None, :])
+        adjacency = distances_sq <= link_radius ** 2
+        np.fill_diagonal(adjacency, False)
+        super().__init__(positions, adjacency)
+        self.alpha = alpha
+        self.min_radius = min_radius
+        self.radii = radii
+
+    @classmethod
+    def sample(
+        cls,
+        n: int,
+        alpha: float,
+        min_radius: float,
+        rng: np.random.Generator,
+        alice_placement: str = "center",
+    ) -> "ScaleFreeGilbert":
+        positions = _sample_positions(n, rng, alice_placement)
+        uniforms = rng.random(n + 1)
+        radii = np.minimum(min_radius * uniforms ** (-1.0 / alpha), math.sqrt(2.0))
+        return cls(positions, radii, alpha, min_radius)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScaleFreeGilbert(n={self.n}, alpha={self.alpha:g}, min_radius={self.min_radius:.4f})"
+        )
+
+
+def _pairwise_sq_distances(positions: np.ndarray) -> np.ndarray:
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return (deltas ** 2).sum(axis=-1)
+
+
+def build_topology(
+    spec: Optional[TopologySpec],
+    n: int,
+    random_source,
+) -> Topology:
+    """Realise a :class:`TopologySpec` into a concrete :class:`Topology`.
+
+    ``random_source`` is the network's :class:`~repro.simulation.rng.RandomSource`;
+    spatial topologies draw from its dedicated ``"topology"`` substream, so a
+    single-hop build touches no random state at all (preserving seed-for-seed
+    compatibility with pre-topology code).
+    """
+
+    if spec is None or spec.kind == "single_hop":
+        return SingleHop(n)
+    rng = random_source.stream("topology")
+    if spec.kind == "gilbert":
+        radius = spec.radius if spec.radius is not None else 2.0 * gilbert_connectivity_radius(n)
+        return GilbertGraph.sample(n, radius, rng, alice_placement=spec.alice_placement)
+    if spec.kind == "scale_free":
+        min_radius = (
+            spec.min_radius if spec.min_radius is not None else gilbert_connectivity_radius(n)
+        )
+        return ScaleFreeGilbert.sample(
+            n, spec.alpha, min_radius, rng, alice_placement=spec.alice_placement
+        )
+    raise ConfigurationError(f"unknown topology kind {spec.kind!r}")  # pragma: no cover

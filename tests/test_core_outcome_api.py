@@ -111,6 +111,7 @@ class TestRunBroadcast:
             "general-k",
             "decoy",
             "size-estimate",
+            "multihop",
         }
 
     def test_adversary_instance_accepted(self):
@@ -122,6 +123,27 @@ class TestRunBroadcast:
         config = SimulationConfig(n=48, seed=9)
         outcome = run_broadcast(n=9999, config=config)
         assert outcome.config.n == 48
+
+    def test_topology_conflicts_with_explicit_config(self):
+        config = SimulationConfig(n=32, seed=9)
+        with pytest.raises(ConfigurationError, match="explicit config"):
+            run_broadcast(n=32, config=config, topology="gilbert")
+        with pytest.raises(ConfigurationError, match="explicit config"):
+            run_broadcast(n=32, config=config, topology_kwargs={"radius": 0.2})
+
+    def test_bad_topology_kwargs_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="topology_kwargs"):
+            run_broadcast(n=32, topology="gilbert", topology_kwargs={"raduis": 0.2})
+
+    def test_topology_kwargs_without_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="without topology"):
+            run_broadcast(n=32, topology_kwargs={"radius": 0.2})
+
+    def test_topology_kwargs_with_spec_rejected(self):
+        from repro.simulation import TopologySpec
+
+        with pytest.raises(ConfigurationError, match="kind name"):
+            run_broadcast(n=32, topology=TopologySpec.gilbert(), topology_kwargs={"radius": 0.2})
 
     def test_same_seed_reproducible(self):
         a = run_broadcast(n=32, seed=5, adversary="continuous",

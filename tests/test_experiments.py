@@ -20,6 +20,7 @@ from repro.experiments.workloads import (
     spend_sweep,
 )
 from repro.simulation import PhaseKind, SimulationConfig
+from repro.simulation.errors import ConfigurationError
 
 
 class TestExperimentSettings:
@@ -39,6 +40,25 @@ class TestExperimentSettings:
         seeds = run_trials(lambda seed: {"seed": float(seed)}, settings, "label")
         assert len(seeds) == 3
         assert len({record["seed"] for record in seeds}) == 3
+
+    def test_valid_engines_accepted(self):
+        assert ExperimentSettings(engine="fast").engine == "fast"
+        assert ExperimentSettings(engine="slot").engine == "slot"
+
+    @pytest.mark.parametrize("engine", ["phase", "FAST", "", "vectorised"])
+    def test_unknown_engine_rejected_at_construction(self, engine):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            ExperimentSettings(engine=engine)
+
+    def test_unknown_engine_rejected_via_with_(self):
+        settings = ExperimentSettings()
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            settings.with_(engine="slto")
+
+    @pytest.mark.parametrize("kwargs", [{"n": 1}, {"trials": 0}])
+    def test_degenerate_settings_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(**kwargs)
 
 
 class TestExperimentResult:
@@ -103,8 +123,8 @@ class TestWorkloads:
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 11)]
+    def test_all_experiments_registered(self):
+        assert experiment_ids() == [f"E{i}" for i in range(1, 12)]
         for spec in EXPERIMENTS.values():
             assert spec.title and spec.claim
 

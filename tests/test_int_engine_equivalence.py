@@ -1,54 +1,49 @@
 """Integration tests: the vectorised engine is statistically equivalent to the
 slot-faithful engine.
 
-The PhaseEngine documents two second-order approximations; these tests check
-that on identical scenarios the two engines agree on the protocol-visible
-outcomes (delivery, termination) and that their cost figures agree within
-statistical tolerances.
+The PhaseEngine documents second-order approximations (marginal cost draws,
+sampled stop-when-informed truncation, and the multi-hop caveats listed in its
+module docstring); these tests check that on identical scenarios the two
+engines agree on the protocol-visible outcomes (delivery, termination) and
+that their cost figures agree within statistical tolerances — both on the
+seed single-hop model and over spatial multi-hop topologies.
+
+All machinery lives in the reusable :mod:`tests.equivalence` harness (KS and
+moment checks over seeded trials).
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from equivalence import (
+    assert_means_close,
+    assert_same_distribution,
+    column,
+    mean_by_engine,
+    paired_phase_records,
+)
 from repro import run_broadcast
-from repro.adversary import PhaseBlockingAdversary
+from repro.adversary import PhaseBlockingAdversary, SpatialJammer
 from repro.simulation import (
     JamPlan,
     JamTargeting,
-    Network,
-    PhaseEngine,
     PhaseKind,
     PhasePlan,
     PhaseRoles,
-    SimulationConfig,
-    SlotEngine,
+    TopologySpec,
 )
 
+GILBERT = {"topology": TopologySpec.gilbert(radius=0.3)}
 
-def run_phase_on_both(plan, roles_builder, jam_builder, n=48, trials=6):
-    """Run the same phase on both engines across seeds; return per-engine stats."""
 
-    stats = {"slot": [], "fast": []}
-    for trial in range(trials):
-        for name, engine_cls in (("slot", SlotEngine), ("fast", PhaseEngine)):
-            network = Network(SimulationConfig(n=n, seed=100 + trial))
-            engine = engine_cls(network)
-            result = engine.run_phase(plan, roles_builder(network), jam_builder())
-            stats[name].append(
-                {
-                    "informed": len(result.newly_informed),
-                    "alice_cost": network.alice_cost,
-                    "node_total": float(network.node_costs().sum()),
-                    "adversary": network.adversary_cost,
-                    "alice_noisy": result.alice_noisy_heard,
-                }
-            )
-    return {
-        name: {key: float(np.mean([r[key] for r in rows])) for key in rows[0]}
-        for name, rows in stats.items()
-    }
+def all_listening_roles(network) -> PhaseRoles:
+    return PhaseRoles.of(range(network.n))
+
+
+def split_roles(network) -> PhaseRoles:
+    half = network.n // 2
+    return PhaseRoles.of(range(half, network.n), relays=range(half))
 
 
 class TestPhaseLevelEquivalence:
@@ -61,12 +56,29 @@ class TestPhaseLevelEquivalence:
             alice_send_prob=0.2,
             uninformed_listen_prob=0.3,
         )
-        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), JamPlan.idle)
+        records = paired_phase_records(plan, all_listening_roles)
+        stats = mean_by_engine(records)
         assert stats["fast"]["informed"] == pytest.approx(stats["slot"]["informed"], rel=0.25)
         assert stats["fast"]["alice_cost"] == pytest.approx(stats["slot"]["alice_cost"], rel=0.25)
         # Listening cost carries the documented stop-when-informed
         # approximation, so its tolerance is a little looser.
         assert stats["fast"]["node_total"] == pytest.approx(stats["slot"]["node_total"], rel=0.4)
+
+    def test_inform_phase_informed_distribution_matches(self):
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=6,
+            num_slots=200,
+            alice_send_prob=0.15,
+            uninformed_listen_prob=0.2,
+        )
+        records = paired_phase_records(plan, all_listening_roles, n=40, trials=30)
+        assert_same_distribution(
+            column(records["slot"], "informed"),
+            column(records["fast"], "informed"),
+            label="informed counts (single-hop inform phase)",
+        )
 
     def test_jammed_inform_phase_statistics_match(self):
         plan = PhasePlan(
@@ -78,7 +90,8 @@ class TestPhaseLevelEquivalence:
             uninformed_listen_prob=0.3,
         )
         jam = lambda: JamPlan(num_jam_slots=150, targeting=JamTargeting.everyone())
-        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), jam)
+        records = paired_phase_records(plan, all_listening_roles, jam)
+        stats = mean_by_engine(records)
         assert stats["fast"]["adversary"] == stats["slot"]["adversary"] == 150
         assert stats["fast"]["informed"] == pytest.approx(stats["slot"]["informed"], rel=0.3, abs=4)
 
@@ -92,8 +105,111 @@ class TestPhaseLevelEquivalence:
             uninformed_listen_prob=0.2,
             alice_listen_prob=0.2,
         )
-        stats = run_phase_on_both(plan, lambda net: PhaseRoles.of(range(net.n)), JamPlan.idle)
+        records = paired_phase_records(plan, all_listening_roles)
+        stats = mean_by_engine(records)
         assert stats["fast"]["alice_noisy"] == pytest.approx(stats["slot"]["alice_noisy"], rel=0.3, abs=5)
+
+
+class TestMultiHopPhaseEquivalence:
+    """The multi-hop fast path resolves audibility per listener; its phase
+    statistics must match the (automatically topology-exact) slot engine."""
+
+    def test_multihop_inform_phase_matches(self):
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=5,
+            num_slots=300,
+            alice_send_prob=0.2,
+            uninformed_listen_prob=0.3,
+        )
+        records = paired_phase_records(
+            plan, all_listening_roles, trials=40, config_kwargs=GILBERT
+        )
+        assert_means_close(
+            column(records["slot"], "informed"),
+            column(records["fast"], "informed"),
+            rel=0.2,
+            abs_tol=2.0,
+            label="multihop informed",
+        )
+        assert_means_close(
+            column(records["slot"], "node_total"),
+            column(records["fast"], "node_total"),
+            rel=0.15,
+            label="multihop node_total",
+        )
+        assert_same_distribution(
+            column(records["slot"], "informed"),
+            column(records["fast"], "informed"),
+            label="informed counts (multihop inform phase)",
+        )
+
+    def test_multihop_propagation_phase_matches(self):
+        plan = PhasePlan(
+            name="propagation:1",
+            kind=PhaseKind.PROPAGATION,
+            round_index=5,
+            num_slots=300,
+            relay_send_prob=0.1,
+            uninformed_listen_prob=0.3,
+        )
+        records = paired_phase_records(plan, split_roles, trials=40, config_kwargs=GILBERT)
+        assert_means_close(
+            column(records["slot"], "informed"),
+            column(records["fast"], "informed"),
+            rel=0.15,
+            abs_tol=2.0,
+            label="multihop propagation informed",
+        )
+        assert_means_close(
+            column(records["slot"], "node_total"),
+            column(records["fast"], "node_total"),
+            rel=0.15,
+            label="multihop propagation node_total",
+        )
+
+    def test_multihop_spatially_jammed_phase_matches(self):
+        plan = PhasePlan(
+            name="inform",
+            kind=PhaseKind.INFORM,
+            round_index=5,
+            num_slots=300,
+            alice_send_prob=0.3,
+            uninformed_listen_prob=0.3,
+        )
+        # A fixed disk of victims, resolved per-trial by node ids 0..11 as a
+        # stand-in for a spatial region (identical for both engines).
+        jam = lambda: JamPlan(num_jam_slots=150, targeting=JamTargeting.only(range(12)))
+        records = paired_phase_records(plan, all_listening_roles, jam, trials=40, config_kwargs=GILBERT)
+        stats = mean_by_engine(records)
+        assert stats["fast"]["adversary"] == stats["slot"]["adversary"] == 150
+        assert_means_close(
+            column(records["slot"], "informed"),
+            column(records["fast"], "informed"),
+            rel=0.25,
+            abs_tol=3.0,
+            label="spatially jammed informed",
+        )
+
+    def test_multihop_request_phase_noise_matches(self):
+        plan = PhasePlan(
+            name="request",
+            kind=PhaseKind.REQUEST,
+            round_index=5,
+            num_slots=400,
+            nack_send_prob=0.02,
+            uninformed_listen_prob=0.2,
+            alice_listen_prob=0.2,
+        )
+        records = paired_phase_records(plan, all_listening_roles, trials=40, config_kwargs=GILBERT)
+        assert_means_close(
+            column(records["slot"], "alice_noisy"),
+            column(records["fast"], "alice_noisy"),
+            rel=0.3,
+            abs_tol=5.0,
+            label="multihop alice_noisy",
+        )
 
 
 class TestEndToEndEquivalence:
@@ -114,3 +230,75 @@ class TestEndToEndEquivalence:
         assert fast.adversary_spend == pytest.approx(slot.adversary_spend, rel=0.15)
         assert fast.mean_node_cost == pytest.approx(slot.mean_node_cost, rel=0.35)
         assert fast.alice_cost == pytest.approx(slot.alice_cost, rel=0.35)
+
+
+class TestMultiHopEndToEndEquivalence:
+    """The ISSUE acceptance scenario: exp_multihop-style full runs agree."""
+
+    @staticmethod
+    def _run_many(engine, trials=6, adversary_factory=lambda: "none"):
+        outs = []
+        for trial in range(trials):
+            outs.append(
+                run_broadcast(
+                    n=48,
+                    seed=300 + trial,
+                    variant="multihop",
+                    engine=engine,
+                    topology="gilbert",
+                    topology_kwargs={"radius": 0.3},
+                    adversary=adversary_factory(),
+                )
+            )
+        return outs
+
+    def test_multihop_full_runs_agree(self):
+        fast = self._run_many("fast")
+        slot = self._run_many("slot")
+        assert_means_close(
+            [o.delivery_fraction for o in slot],
+            [o.delivery_fraction for o in fast],
+            rel=0.05,
+            abs_tol=0.05,
+            label="multihop delivery fraction",
+        )
+        assert_means_close(
+            [o.delivery.rounds_executed for o in slot],
+            [o.delivery.rounds_executed for o in fast],
+            rel=0.2,
+            abs_tol=1.0,
+            label="multihop rounds executed",
+        )
+        assert_means_close(
+            [o.alice_cost for o in slot],
+            [o.alice_cost for o in fast],
+            rel=0.2,
+            label="multihop alice cost",
+        )
+        # Per-run node cost is dominated by how many rounds the last
+        # stragglers take, which is high-variance; the mean over seeds still
+        # has to land in the same ballpark.
+        assert_means_close(
+            [o.mean_node_cost for o in slot],
+            [o.mean_node_cost for o in fast],
+            rel=0.6,
+            label="multihop mean node cost",
+        )
+
+    def test_multihop_spatial_jam_full_runs_agree(self):
+        factory = lambda: SpatialJammer(center=(0.25, 0.25), radius=0.2, max_total_spend=3_000)
+        fast = self._run_many("fast", trials=4, adversary_factory=factory)
+        slot = self._run_many("slot", trials=4, adversary_factory=factory)
+        assert_means_close(
+            [o.adversary_spend for o in slot],
+            [o.adversary_spend for o in fast],
+            rel=0.15,
+            label="spatial-jam adversary spend",
+        )
+        assert_means_close(
+            [o.delivery_fraction for o in slot],
+            [o.delivery_fraction for o in fast],
+            rel=0.1,
+            abs_tol=0.1,
+            label="spatial-jam delivery fraction",
+        )

@@ -1,0 +1,226 @@
+"""Property tests for spatial topology generation.
+
+Checks the structural invariants the engines rely on (determinism under the
+run's seed, adjacency symmetry, no self-loops) and the two statistical
+regimes the experiments exploit: the Gilbert connectivity threshold
+``r_c = sqrt(ln n / (π n))`` and the heavy degree tail of the scale-free
+variant.  All trials are seeded, so every assertion is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    ALICE_ID,
+    GilbertGraph,
+    Network,
+    RandomSource,
+    ScaleFreeGilbert,
+    SimulationConfig,
+    SingleHop,
+    TopologySpec,
+    build_topology,
+    gilbert_connectivity_radius,
+)
+from repro.simulation.errors import ConfigurationError
+
+
+def make_gilbert(n=64, radius=0.3, seed=0):
+    return build_topology(TopologySpec.gilbert(radius=radius), n, RandomSource(seed))
+
+
+def make_scale_free(n=64, alpha=2.0, seed=0):
+    return build_topology(TopologySpec.scale_free(alpha=alpha), n, RandomSource(seed))
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(kind="torus")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "gilbert", "radius": 0.0},
+        {"kind": "gilbert", "radius": -1.0},
+        {"kind": "scale_free", "alpha": 0.0},
+        {"kind": "scale_free", "min_radius": -0.5},
+        {"kind": "gilbert", "alice_placement": "corner"},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(**kwargs)
+
+    def test_config_rejects_non_spec_topology(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=16, topology="gilbert")
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("maker", [make_gilbert, make_scale_free])
+    def test_same_seed_same_graph(self, maker):
+        a, b = maker(seed=42), maker(seed=42)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    @pytest.mark.parametrize("maker", [make_gilbert, make_scale_free])
+    def test_different_seed_different_graph(self, maker):
+        a, b = maker(seed=1), maker(seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_network_realises_spec_deterministically(self):
+        config = SimulationConfig(n=48, seed=7, topology=TopologySpec.gilbert(radius=0.25))
+        net_a, net_b = Network(config), Network(config)
+        assert np.array_equal(net_a.topology.adjacency, net_b.topology.adjacency)
+
+    def test_topology_build_does_not_perturb_engine_streams(self):
+        plain = Network(SimulationConfig(n=32, seed=5))
+        spatial = Network(SimulationConfig(n=32, seed=5, topology=TopologySpec.gilbert(radius=0.3)))
+        draws_plain = plain.random_source.stream("engine:alice").random(8)
+        draws_spatial = spatial.random_source.stream("engine:alice").random(8)
+        assert np.array_equal(draws_plain, draws_spatial)
+
+
+class TestAdjacencyInvariants:
+    @pytest.mark.parametrize("maker", [make_gilbert, make_scale_free])
+    def test_symmetric_no_self_loops(self, maker):
+        topo = maker(seed=3)
+        adjacency = topo.adjacency
+        assert np.array_equal(adjacency, adjacency.T)
+        assert not adjacency.diagonal().any()
+
+    def test_can_hear_matches_adjacency_and_is_symmetric(self, ):
+        topo = make_gilbert(n=32, seed=9)
+        devices = [ALICE_ID] + list(range(32))
+        for u in devices[:8]:
+            for v in devices[:8]:
+                assert topo.can_hear(u, v) == topo.can_hear(v, u)
+                if u == v:
+                    assert not topo.can_hear(u, v)
+
+    def test_byzantine_senders_audible_everywhere(self):
+        topo = make_gilbert(n=16, radius=0.01, seed=0)
+        assert topo.can_hear(0, -2)
+        assert topo.can_hear(ALICE_ID, -5)
+        # reach_matrix must agree with can_hear on synthetic sender ids:
+        # an all-True column even on a radius so small no real edge exists.
+        matrix = topo.reach_matrix([ALICE_ID, 0, 1], [-2, 0])
+        assert matrix[:, 0].all()
+        assert not matrix[1, 1]  # self-pair stays False for real senders
+        assert np.array_equal(
+            topo.reach_matrix_f32([ALICE_ID, 0, 1], [-2, 0]),
+            matrix.astype(np.float32),
+        )
+
+    def test_reach_matrix_agrees_with_can_hear(self):
+        topo = make_gilbert(n=24, seed=11)
+        listeners = [ALICE_ID, 0, 5, 7]
+        senders = [3, 5, ALICE_ID]
+        matrix = topo.reach_matrix(listeners, senders)
+        for i, u in enumerate(listeners):
+            for j, v in enumerate(senders):
+                assert matrix[i, j] == topo.can_hear(u, v)
+
+    def test_edges_match_radius_geometry(self):
+        topo = make_gilbert(n=40, radius=0.2, seed=13)
+        positions = topo.positions
+        adjacency = topo.adjacency
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        expected = distances <= 0.2
+        np.fill_diagonal(expected, False)
+        assert np.array_equal(adjacency, expected)
+
+    def test_single_hop_hears_everyone(self):
+        topo = SingleHop(8)
+        assert topo.is_single_hop
+        assert topo.neighbors(0) == frozenset(range(1, 8)) | {ALICE_ID}
+        assert topo.neighbors(ALICE_ID) == frozenset(range(8))
+        assert topo.largest_component_fraction() == 1.0
+
+
+class TestConnectivityThreshold:
+    """Empirical connectivity agrees with the Gilbert threshold regime."""
+
+    N = 400
+
+    def _fractions(self, multiplier, seeds=range(5)):
+        r = multiplier * gilbert_connectivity_radius(self.N)
+        return [
+            build_topology(
+                TopologySpec.gilbert(radius=r), self.N, RandomSource(1000 + s)
+            ).largest_component_fraction()
+            for s in seeds
+        ]
+
+    def test_subcritical_radius_fragments(self):
+        fractions = self._fractions(0.4)
+        assert max(fractions) < 0.5
+
+    def test_supercritical_radius_connects(self):
+        fractions = self._fractions(2.0)
+        assert min(fractions) > 0.95
+
+    def test_fraction_increases_across_threshold(self):
+        below = np.mean(self._fractions(0.6))
+        above = np.mean(self._fractions(1.5))
+        assert above > below + 0.3
+
+    def test_reachable_from_alice_subset_of_component(self):
+        topo = make_gilbert(n=100, radius=0.12, seed=4)
+        reachable = topo.reachable_from_alice()
+        assert reachable  # Alice at the centre of a near-critical graph
+        components = topo.connected_components()
+        # Every node reachable from Alice lies in a single node-component
+        # (Alice's edges can merge node-components, so take the union of the
+        # components her neighbours touch).
+        neighbor_components = [c for c in components if c & topo.node_neighbors(ALICE_ID)]
+        union = frozenset().union(*neighbor_components) if neighbor_components else frozenset()
+        assert reachable == union
+
+
+class TestScaleFreeDegreeTail:
+    def test_degree_tail_heavier_than_gilbert(self):
+        n = 300
+        sf = build_topology(TopologySpec.scale_free(alpha=1.5), n, RandomSource(21))
+        degrees = sf.degrees()
+        median = np.median(degrees)
+        # Hubs: some node's degree dwarfs the median; a homogeneous Gilbert
+        # graph (Poisson degrees) never shows this spread.
+        assert degrees.max() >= 6 * max(median, 1.0)
+        gilbert = build_topology(
+            TopologySpec.gilbert(radius=2.0 * gilbert_connectivity_radius(n)),
+            n,
+            RandomSource(21),
+        )
+        g_degrees = gilbert.degrees()
+        g_ratio = g_degrees.max() / max(np.median(g_degrees), 1.0)
+        sf_ratio = degrees.max() / max(median, 1.0)
+        assert sf_ratio > 2.0 * g_ratio
+
+    def test_radii_are_pareto_bounded_below(self):
+        sf = make_scale_free(n=128, alpha=2.5, seed=8)
+        assert isinstance(sf, ScaleFreeGilbert)
+        assert (sf.radii >= sf.min_radius - 1e-12).all()
+        assert (sf.radii <= np.sqrt(2.0) + 1e-12).all()
+
+
+class TestSpatialQueries:
+    def test_nodes_in_disk_matches_geometry(self):
+        topo = make_gilbert(n=60, seed=17)
+        center, radius = (0.5, 0.5), 0.3
+        inside = topo.nodes_in_disk(center, radius)
+        assert ALICE_ID in inside  # Alice sits at the centre by default
+        positions = topo.positions
+        for node in range(60):
+            d2 = (positions[node, 0] - 0.5) ** 2 + (positions[node, 1] - 0.5) ** 2
+            assert (node in inside) == (d2 <= radius ** 2)
+
+    def test_single_hop_disk_is_everyone(self):
+        topo = SingleHop(10)
+        assert topo.nodes_in_disk((0.0, 0.0), 0.01) == frozenset(range(10)) | {ALICE_ID}
+
+    def test_gilbert_default_radius_is_supercritical(self):
+        topo = build_topology(TopologySpec.gilbert(), 200, RandomSource(2))
+        assert isinstance(topo, GilbertGraph)
+        assert topo.radius == pytest.approx(2.0 * gilbert_connectivity_radius(200))

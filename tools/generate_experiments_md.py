@@ -89,6 +89,22 @@ COMMENTARY = {
         "termination round grows by one per geometric increase in the spoofer's spend, her cost fits "
         "T^0.34 (prediction 1/3), and delivery is never affected — spoofing cannot forge silence."
     ),
+    "E11": (
+        "Paper: the motivating scenario is a dense sensor network over an area (§1), though the "
+        "game itself is analysed on one shared channel.  This experiment extends the model: "
+        "hop-by-hop relaying of ε-Broadcast over Gilbert random geometric graphs, swept across the "
+        "connectivity radius r_c = √(ln n / (π n)) (arXiv:1312.4861), plus a scale-free "
+        "heavy-tailed-radius variant (arXiv:1411.6824).  Measured: below r_c the graph fragments "
+        "and delivery collapses to the Alice-component fraction (delivery_vs_reachable stays ≈ 1 — "
+        "the protocol informs essentially everyone a radio path reaches); above r_c delivery "
+        "saturates at 1; the scale-free topology's hubs keep it connected without a radius sweep; "
+        "and a disk-jamming Carol — the geometric analogue of §2.3's n-uniform splitter — only "
+        "delays her disk while her budget lasts.  The quiet rule, tuned for a global channel, misfires "
+        "both ways on sparse graphs: delivery_vs_reachable dips slightly below 1 near the "
+        "threshold (locally quiet nodes inside Alice's component give up early), and the "
+        "sub-threshold mean_node_cost blows up (Alice-less components keep hearing each other's "
+        "nacks and run to the round cap) — both recorded as ROADMAP open items."
+    ),
 }
 
 PREAMBLE = """# EXPERIMENTS — paper claims versus measured results

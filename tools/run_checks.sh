@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full unit/property/integration suite plus a
+# quick-mode benchmark smoke over a representative experiment subset.
+#
+# Usage:
+#   tools/run_checks.sh            # tests + benchmark smoke
+#   tools/run_checks.sh --no-bench # tests only (fast pre-commit check)
+#
+# Environment knobs (forwarded to benchmarks/conftest.py):
+#   REPRO_BENCH_N       network size for the smoke benchmarks (default 96 here)
+#   REPRO_BENCH_TRIALS  trials per sweep point (default 1 here)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== quick-mode benchmark smoke (E2 delivery + E11 multihop) =="
+    REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
+        python -m pytest benchmarks/bench_delivery.py benchmarks/bench_multihop.py \
+        --benchmark-only --benchmark-disable-gc -q
+fi
+
+echo "all checks passed"
