@@ -388,11 +388,14 @@ class MultiHopBroadcast(EpsilonBroadcast):
 
     def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
         topology = self.network.topology
-        active_uninformed = state.active_uninformed()
-        satisfied = [
-            node_id
-            for node_id in state.active_informed()
-            if not (topology.node_neighbors(node_id) & active_uninformed)
-        ]
+        relays = sorted(state.active_informed())
+        if not relays:
+            return
+        # One CSR neighbourhood slice answers "does any active uninformed
+        # neighbour remain?" for the whole frontier at once — O(sum of relay
+        # degrees) instead of per-relay Python set intersections, which is
+        # what keeps the relay layer viable at n >> 10^4.
+        still_needed = topology.any_neighbor_in(relays, state.active_uninformed())
+        satisfied = [node_id for node_id, needed in zip(relays, still_needed) if not needed]
         if satisfied:
             state.terminate_informed(satisfied, round_index)

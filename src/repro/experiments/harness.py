@@ -11,6 +11,7 @@ experiment shares — network size, number of repeated trials, base seed, and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from numbers import Integral
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..simulation.errors import ConfigurationError
@@ -51,14 +52,26 @@ class ExperimentSettings:
     engine: str = "fast"
 
     def __post_init__(self) -> None:
+        # Validation failures name the offending field and echo the received
+        # value: a typo'd sweep setting would otherwise only surface deep
+        # inside the first protocol run, far from the call that caused it.
         if self.engine not in VALID_ENGINES:
             raise ConfigurationError(
-                f"unknown engine {self.engine!r}; valid engines: {list(VALID_ENGINES)}"
+                f"ExperimentSettings.engine must be one of {list(VALID_ENGINES)}, "
+                f"got {self.engine!r}"
             )
-        if self.n < 2:
-            raise ConfigurationError(f"n must be at least 2, got {self.n}")
-        if self.trials < 1:
-            raise ConfigurationError(f"trials must be at least 1, got {self.trials}")
+        if not isinstance(self.n, Integral) or self.n < 2:
+            raise ConfigurationError(
+                f"ExperimentSettings.n must be an integer >= 2, got {self.n!r}"
+            )
+        if not isinstance(self.trials, Integral) or self.trials < 1:
+            raise ConfigurationError(
+                f"ExperimentSettings.trials must be an integer >= 1, got {self.trials!r}"
+            )
+        if not isinstance(self.seed, Integral):
+            raise ConfigurationError(
+                f"ExperimentSettings.seed must be an integer, got {self.seed!r}"
+            )
 
     def trial_seed(self, *labels: object) -> int:
         """A deterministic seed for one trial of one sweep point."""

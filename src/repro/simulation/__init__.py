@@ -40,7 +40,9 @@ from .phaseplan import (
 )
 from .rng import RandomSource, derive_seed
 from .topology import (
+    SPARSE_NODE_THRESHOLD,
     GilbertGraph,
+    NeighborCSR,
     ScaleFreeGilbert,
     SingleHop,
     Topology,
@@ -69,6 +71,7 @@ __all__ = [
     "EnergyOperation",
     "EventLog",
     "GilbertGraph",
+    "NeighborCSR",
     "JamMode",
     "JamPlan",
     "JamTargeting",
@@ -96,6 +99,7 @@ __all__ = [
     "ScaleFreeGilbert",
     "SimulationConfig",
     "SimulationError",
+    "SPARSE_NODE_THRESHOLD",
     "SingleHop",
     "SlotAction",
     "SlotClock",

@@ -170,8 +170,16 @@ class Channel:
         for listener in listener_set:
             jammed = jam.affects(listener)
             if spatial:
+                # The neighbour set is memoised on the topology (dense row
+                # scan or CSR slice, whichever backend is realised), so the
+                # per-frame audibility test is a set-membership check.
+                # Synthetic Byzantine senders (ids <= -2) are audible
+                # everywhere by model fiat.
+                neighbors = topology.neighbors(listener)
                 audible = [
-                    frame for frame in transmissions if topology.can_hear(listener, frame.sender_id)
+                    frame
+                    for frame in transmissions
+                    if frame.sender_id <= -2 or frame.sender_id in neighbors
                 ]
             else:
                 audible = transmissions

@@ -45,6 +45,37 @@ slot engine):
   share a phase, so this only perturbs decoy-variant noise counts);
 * decoy senders that become informed mid-phase keep sending decoys until the
   phase ends (the slot engine mutes them).
+
+Sparse topologies (n ≫ 10⁴)
+---------------------------
+
+The indicator-matrix path above is ``O(n·slots)`` in time *and* memory, which
+caps it well below the network sizes where Gilbert-graph asymptotics appear.
+When the topology reports the CSR backend
+(:attr:`~repro.simulation.topology.Topology.backend` == ``"sparse"``),
+:meth:`PhaseEngine._run_phase_multihop_sparse` runs instead.  It exploits the
+protocol's own sparsity: per-slot action probabilities are ``O(1/n)`` (sends)
+or geometrically decaying (listens), so the *events* of a phase — who
+transmitted in which slot — number ``O(n)`` rather than ``O(n·slots)``.  The
+sparse path:
+
+* samples transmission events exactly (a Bernoulli grid conditioned on its
+  binomial count is a uniform subset of device×slot cells),
+* expands each event to the sender's CSR neighbourhood restricted to the
+  currently-active listener set (``O(events · E[deg])`` pairs),
+* resolves delivery per listener from its candidate clean-delivery slots
+  (exact: collision, spoof, jamming, and half-duplex rules all applied per
+  pair), and
+* draws listening costs and request-phase noisy-slot counts as binomials
+  over the per-listener slot classification — exact for request phases,
+  and the same marginal-truncation approximation as the single-hop path for
+  nodes informed mid-phase (listening stops at the delivery slot, but the
+  pre-delivery listening cost is drawn marginally).
+
+Both multi-hop paths implement the same phase semantics and are covered by
+the same statistical-equivalence suite; which one runs is purely a
+memory/speed trade governed by the topology's dense/sparse crossover
+(:data:`~repro.simulation.topology.SPARSE_NODE_THRESHOLD`).
 """
 
 from __future__ import annotations
@@ -61,6 +92,38 @@ from .network import Network
 from .phaseplan import JamPlan, PhaseKind, PhasePlan, PhaseResult, PhaseRoles
 
 __all__ = ["PhaseEngine"]
+
+
+def _sample_bernoulli_events(
+    rng: np.random.Generator, num: int, s: int, p: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Sample the success cells of a ``num × s`` Bernoulli(``p``) grid.
+
+    Returns ``(idx, slots)`` — the row (device) and column (slot) of every
+    success, grouped by row with slots ascending.  Distribution-exact: a
+    Bernoulli grid conditioned on its total count ``m ~ Binomial(num·s, p)``
+    is a uniform ``m``-subset of the cells, which is drawn by rejection of
+    duplicates.  Cost is ``O(m log m)`` — independent of the grid size — so
+    phases with millions of slots but thousands of events stay cheap.
+    """
+
+    empty = np.empty(0, dtype=np.int64)
+    if num <= 0 or s <= 0 or p <= 0.0:
+        return empty, empty
+    cells = num * s
+    if cells <= (1 << 21) or p > 0.25:
+        # Small grids (and the clipped-probability early rounds): sampling the
+        # grid directly is cheaper than rejection and trivially exact.
+        idx, slots = np.nonzero(rng.random((num, s)) < p)
+        return idx.astype(np.int64), slots.astype(np.int64)
+    m = int(rng.binomial(cells, p))
+    if m == 0:
+        return empty, empty
+    flat = np.unique(rng.integers(0, cells, size=m, dtype=np.int64))
+    while flat.size < m:
+        extra = rng.integers(0, cells, size=m - flat.size, dtype=np.int64)
+        flat = np.unique(np.concatenate([flat, extra]))
+    return flat // s, flat % s
 
 
 class PhaseEngine:
@@ -93,6 +156,8 @@ class PhaseEngine:
 
         topology = network.topology
         if topology is not None and not topology.is_single_hop:
+            if topology.backend == "sparse":
+                return self._run_phase_multihop_sparse(plan, roles, jam_plan, start_slot)
             return self._run_phase_multihop(plan, roles, jam_plan, start_slot)
 
         uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
@@ -461,6 +526,305 @@ class PhaseEngine:
                     network.nodes[int(node_id)].ledger.charge_bulk(
                         EnergyOperation.SEND, float(decoy_cost[idx])
                     )
+
+        return PhaseResult(
+            plan=plan,
+            newly_informed=frozenset(newly_informed),
+            jammed_slots=jammed_slots,
+            adversary_spend=adversary_spend,
+            alice_noisy_heard=alice_noisy,
+            node_noisy_heard=node_noisy,
+            delivery_slots=delivery_slots,
+            busy_slots=busy_slots,
+            alice_send_slots=alice_send_slots,
+            alice_listen_slots=alice_listen_slots,
+            spoofed_transmissions=spoofed_transmissions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sparse multi-hop (CSR-topology) execution                           #
+    # ------------------------------------------------------------------ #
+
+    def _run_phase_multihop_sparse(
+        self,
+        plan: PhasePlan,
+        roles: PhaseRoles,
+        jam_plan: JamPlan,
+        start_slot: int = 0,
+    ) -> PhaseResult:
+        """Event-driven execution over a sparse (CSR-backed) topology.
+
+        Instead of materialising ``(devices × slots)`` indicator matrices, the
+        phase is resolved from its transmission *events*: each sampled send is
+        expanded through the sender's CSR neighbourhood slice onto only the
+        currently-active listeners.  See the module docstring for the exact /
+        approximate split; statistical equivalence with the dense multi-hop
+        path is covered by the sparse-topology test suite.
+        """
+
+        network = self.network
+        topology = network.topology
+        rng = self._rng
+        s = plan.num_slots
+        n = topology.n
+        csr = topology.neighbor_csr()
+
+        uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
+        relays = np.array(sorted(roles.relays), dtype=np.int64)
+        decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
+        num_u, num_r, num_d = uninformed.size, relays.size, decoys.size
+
+        # Listener-position lookup: device row -> index into `uninformed`.
+        u_pos = np.full(n + 1, -1, dtype=np.int64)
+        u_pos[uninformed] = np.arange(num_u, dtype=np.int64)
+
+        # ------------------------------------------------------------------ #
+        # 1. Transmission events                                             #
+        # ------------------------------------------------------------------ #
+        alice_slots = np.empty(0, dtype=np.int64)
+        if roles.alice_active and plan.alice_send_prob > 0:
+            _, alice_slots = _sample_bernoulli_events(rng, 1, s, plan.alice_send_prob)
+
+        relay_idx, relay_slots = _sample_bernoulli_events(rng, num_r, s, plan.relay_send_prob)
+        nack_idx, nack_slots = _sample_bernoulli_events(rng, num_u, s, plan.nack_send_prob)
+        decoy_idx, decoy_slots = _sample_bernoulli_events(rng, num_d, s, plan.decoy_send_prob)
+
+        nack_keys = uninformed[nack_idx] * s + nack_slots
+        if decoy_idx.size and nack_keys.size:
+            # Half-duplex, mirroring the dense path: a decoy sender that chose
+            # a nack in the same slot keeps the nack.
+            decoy_device_keys = decoys[decoy_idx] * s + decoy_slots
+            keep = ~np.isin(decoy_device_keys, nack_keys)
+            decoy_idx, decoy_slots = decoy_idx[keep], decoy_slots[keep]
+
+        # Slots in which each *listener* transmits (it cannot listen there).
+        own_parts = []
+        if nack_idx.size:
+            own_parts.append(u_pos[uninformed[nack_idx]] * s + nack_slots)
+        if decoy_idx.size:
+            decoy_lpos = u_pos[decoys[decoy_idx]]
+            active_decoy = decoy_lpos >= 0
+            own_parts.append(decoy_lpos[active_decoy] * s + decoy_slots[active_decoy])
+        own_keys = (
+            np.unique(np.concatenate(own_parts)) if own_parts else np.empty(0, dtype=np.int64)
+        )
+
+        # ------------------------------------------------------------------ #
+        # 2. Adversary actions (jamming + spoofed transmissions)             #
+        # ------------------------------------------------------------------ #
+        correct_activity = np.zeros(s, dtype=bool)
+        correct_activity[alice_slots] = True
+        correct_activity[relay_slots] = True
+        correct_activity[nack_slots] = True
+        correct_activity[decoy_slots] = True
+
+        (
+            jam_mask,
+            spoof_counts,
+            adversary_spend,
+            jammed_slots,
+            spoofed_transmissions,
+        ) = self._materialize_adversary_actions(jam_plan, s, rng, correct_activity)
+        spoof_busy = spoof_counts > 0
+        busy_slots = int(np.count_nonzero(correct_activity | spoof_busy | jam_mask))
+
+        jam_affects_listeners = jam_plan.targeting.mode is not JamMode.NONE
+        victim = (
+            self._victim_mask(uninformed, jam_plan)
+            if jam_affects_listeners
+            else np.zeros(num_u, dtype=bool)
+        )
+
+        # ------------------------------------------------------------------ #
+        # 3. CSR neighbourhood expansion of the events                       #
+        # ------------------------------------------------------------------ #
+        alice_audible = np.zeros(s, dtype=bool)  # slots in which Alice hears activity
+
+        def expand(sender_rows: np.ndarray, slots: np.ndarray) -> np.ndarray:
+            """Listener-position keys ``pos·s + slot`` of all audible pairs."""
+
+            if sender_rows.size == 0:
+                return np.empty(0, dtype=np.int64)
+            origins, nbrs = csr.expand(sender_rows)
+            pair_slots = slots[origins]
+            alice_audible[pair_slots[nbrs == n]] = True
+            pos = u_pos[nbrs]
+            active = pos >= 0
+            return pos[active] * s + pair_slots[active]
+
+        payload_parts = [expand(relays[relay_idx], relay_slots)]
+        if alice_slots.size:
+            alice_nbrs = csr.row(n).astype(np.int64, copy=False)
+            pos = u_pos[alice_nbrs]
+            pos = pos[pos >= 0]
+            payload_parts.append(
+                (pos[:, None] * s + alice_slots[None, :]).reshape(-1)
+            )
+        payload_keys = np.concatenate(payload_parts)
+        noise_keys = np.concatenate(
+            [
+                expand(uninformed[nack_idx], nack_slots),
+                expand(decoys[decoy_idx], decoy_slots),
+            ]
+        )
+
+        # ------------------------------------------------------------------ #
+        # 4. Delivery (payload phases)                                       #
+        # ------------------------------------------------------------------ #
+        newly_informed: Set[int] = set()
+        delivery_slots = 0
+        informed_at = np.full(num_u, -1, dtype=np.int64)
+        clean_keys = np.empty(0, dtype=np.int64)
+        p_listen = plan.uninformed_listen_prob
+        if plan.carries_payload and num_u and p_listen > 0 and payload_keys.size:
+            cand, payload_count = np.unique(payload_keys, return_counts=True)
+            clean = payload_count == 1
+            if noise_keys.size:
+                clean &= ~np.isin(cand, noise_keys)
+            if own_keys.size:
+                clean &= ~np.isin(cand, own_keys)
+            cand_pos = cand // s
+            cand_slot = cand % s
+            clean &= ~spoof_busy[cand_slot]
+            if jam_affects_listeners:
+                clean &= ~(jam_mask[cand_slot] & victim[cand_pos])
+            clean_keys = cand[clean]
+            cand_pos, cand_slot = cand_pos[clean], cand_slot[clean]
+            heard = rng.random(cand_pos.size) < p_listen
+            heard_pos, heard_slot = cand_pos[heard], cand_slot[heard]
+            if heard_pos.size:
+                # `cand` was sorted by (listener, slot): the first occurrence
+                # of each listener is its earliest heard clean delivery.
+                first_pos, first_index = np.unique(heard_pos, return_index=True)
+                first_slot = heard_slot[first_index]
+                informed_at[first_pos] = first_slot
+                newly_informed = set(int(x) for x in uninformed[first_pos])
+                delivery_slots = int(np.unique(first_slot).size)
+
+        informed_mask = informed_at >= 0
+        # Inclusive active window per listener (mirrors the dense path's
+        # `active_until`): a node informed in slot t stops after t.
+        cutoff = np.where(informed_mask, informed_at, s - 1)
+
+        # ------------------------------------------------------------------ #
+        # 5. Listener costs and request-phase noise counts                   #
+        # ------------------------------------------------------------------ #
+        node_noisy: Dict[int, int] = {}
+        if num_u:
+            nack_cost = np.zeros(num_u, dtype=np.int64)
+            if nack_idx.size:
+                # `nack_idx` already indexes into `uninformed`, i.e. it *is*
+                # the listener position of the sender.
+                in_window = nack_slots <= cutoff[nack_idx]
+                np.add.at(nack_cost, nack_idx[in_window], 1)
+
+            own_sends = np.zeros(num_u, dtype=np.int64)
+            if own_keys.size:
+                own_pos = own_keys // s
+                in_window = (own_keys % s) <= cutoff[own_pos]
+                np.add.at(own_sends, own_pos[in_window], 1)
+
+            if p_listen > 0:
+                listenable = np.maximum(cutoff + 1 - own_sends, 0)
+                # Marginal truncation (documented approximation, as in the
+                # single-hop path): an informed node's pre-delivery listening
+                # cost is a binomial over its active window, plus the delivery
+                # slot it actually heard.
+                draw_window = np.where(informed_mask, np.maximum(listenable - 1, 0), listenable)
+                listen_cost = rng.binomial(draw_window, p_listen) + informed_mask.astype(np.int64)
+            else:
+                listen_cost = np.zeros(num_u, dtype=np.int64)
+
+            if plan.kind is PhaseKind.REQUEST and p_listen > 0:
+                # Exact per-listener noisy-slot counts within each listener's
+                # active window: globally-noisy slots (spoofing, and jamming
+                # for victims) plus the listener's own audible slots, minus
+                # clean deliveries, overlap, and half-duplex exclusions —
+                # mirroring the dense path's
+                # `jam | ((payload + other > 0) & ~clean_delivery)` per slot.
+                global_noisy_victim = spoof_busy | jam_mask
+                victim_cum = np.cumsum(global_noisy_victim)
+                spared_cum = np.cumsum(spoof_busy)
+                # Count of globally-noisy slots in [0, cutoff], per listener.
+                n_noisy = np.where(victim, victim_cum[cutoff], spared_cum[cutoff])
+
+                audible_keys = np.unique(np.concatenate([noise_keys, payload_keys]))
+                if clean_keys.size:
+                    audible_keys = audible_keys[~np.isin(audible_keys, clean_keys)]
+                if audible_keys.size:
+                    a_pos = audible_keys // s
+                    a_slot = audible_keys % s
+                    in_window = a_slot <= cutoff[a_pos]
+                    a_pos, a_slot = a_pos[in_window], a_slot[in_window]
+                    is_global = np.where(
+                        victim[a_pos], global_noisy_victim[a_slot], spoof_busy[a_slot]
+                    )
+                    n_noisy = n_noisy + np.bincount(a_pos[~is_global], minlength=num_u)
+                if own_keys.size:
+                    # A transmitting node cannot hear the slot it sends in.
+                    own_pos = own_keys // s
+                    own_slot = own_keys % s
+                    in_window = own_slot <= cutoff[own_pos]
+                    own_in, own_pos, own_slot = (
+                        own_keys[in_window], own_pos[in_window], own_slot[in_window]
+                    )
+                    own_noisy = np.where(
+                        victim[own_pos], global_noisy_victim[own_slot], spoof_busy[own_slot]
+                    )
+                    if audible_keys.size:
+                        own_noisy |= np.isin(own_in, audible_keys)
+                    n_noisy = n_noisy - np.bincount(own_pos[own_noisy], minlength=num_u)
+                heard_noisy = rng.binomial(np.maximum(n_noisy, 0), p_listen)
+                node_noisy = {
+                    int(uninformed[i]): int(heard_noisy[i]) for i in range(num_u)
+                }
+
+            for idx in np.flatnonzero((listen_cost > 0) | (nack_cost > 0)):
+                ledger = network.nodes[int(uninformed[idx])].ledger
+                if listen_cost[idx]:
+                    ledger.charge_bulk(EnergyOperation.LISTEN, float(listen_cost[idx]))
+                if nack_cost[idx]:
+                    ledger.charge_bulk(EnergyOperation.SEND, float(nack_cost[idx]))
+
+        # ------------------------------------------------------------------ #
+        # 6. Alice                                                           #
+        # ------------------------------------------------------------------ #
+        alice_send_slots = int(alice_slots.size)
+        if alice_send_slots:
+            network.alice.ledger.charge_bulk(EnergyOperation.SEND, float(alice_send_slots))
+
+        alice_noisy = 0
+        alice_listen_slots = 0
+        if roles.alice_active and plan.alice_listen_prob > 0:
+            noisy_for_alice = alice_audible | spoof_busy
+            if jam_plan.targeting.affects(ALICE_ID):
+                noisy_for_alice = noisy_for_alice | jam_mask
+            if alice_send_slots:
+                noisy_for_alice[alice_slots] = False  # half-duplex
+            n_noisy_alice = int(np.count_nonzero(noisy_for_alice))
+            n_quiet_alice = s - alice_send_slots - n_noisy_alice
+            alice_noisy = int(rng.binomial(n_noisy_alice, plan.alice_listen_prob))
+            alice_listen_slots = alice_noisy + int(
+                rng.binomial(max(n_quiet_alice, 0), plan.alice_listen_prob)
+            )
+            if alice_listen_slots:
+                network.alice.ledger.charge_bulk(EnergyOperation.LISTEN, float(alice_listen_slots))
+
+        # ------------------------------------------------------------------ #
+        # 7. Relay and decoy send costs (exact event counts)                 #
+        # ------------------------------------------------------------------ #
+        if relay_idx.size:
+            relay_cost = np.bincount(relay_idx, minlength=num_r)
+            for idx in np.flatnonzero(relay_cost):
+                network.nodes[int(relays[idx])].ledger.charge_bulk(
+                    EnergyOperation.SEND, float(relay_cost[idx])
+                )
+        if decoy_idx.size:
+            decoy_cost = np.bincount(decoy_idx, minlength=num_d)
+            for idx in np.flatnonzero(decoy_cost):
+                network.nodes[int(decoys[idx])].ledger.charge_bulk(
+                    EnergyOperation.SEND, float(decoy_cost[idx])
+                )
 
         return PhaseResult(
             plan=plan,

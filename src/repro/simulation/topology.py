@@ -20,6 +20,32 @@ message must travel multiple hops.  This module supplies the spatial layer:
   distribution, and ``u ~ v`` iff ``dist(u, v) <= max(r_u, r_v)``.  Nodes
   with large radii become hubs, producing a power-law degree tail.
 
+Dense and sparse adjacency backends
+-----------------------------------
+
+Spatial topologies keep the realised radio graph in one of two backends:
+
+* **dense** — the original (n+1)×(n+1) boolean adjacency matrix, built from
+  all-pairs distances.  Exact, simple, and the right choice up to a few
+  thousand devices, but both its construction time and its memory are
+  Θ(n²): at ``n = 10⁵`` the matrix alone would need ~10 GiB.
+* **sparse** — a :class:`NeighborCSR` compressed-sparse-row neighbour list
+  built with a uniform-grid cell index: points are bucketed into cells of
+  the connection radius, and only points in adjacent cells are compared, so
+  construction is ``O(n · E[deg])`` and memory is ``O(n + |edges|)``.  This
+  is what lets :class:`~repro.simulation.fastengine.PhaseEngine` scale into
+  the ``n ≫ 10⁴`` regime where the Gilbert-graph asymptotics of
+  arXiv:1312.4861 / arXiv:1411.6824 actually bite.
+
+Both backends realise the *same* graph for the same positions (the edge
+predicate is evaluated with identical float arithmetic), so the choice is an
+implementation detail.  It is made automatically at construction: networks
+with more than :data:`SPARSE_NODE_THRESHOLD` devices go sparse, smaller ones
+stay dense; ``TopologySpec(sparse=True/False)`` (or the ``sparse=`` keyword
+of the topology constructors) overrides the crossover in either direction.
+:attr:`Topology.backend` reports which representation a realised topology
+uses, and :meth:`Topology.memory_bytes` its adjacency footprint.
+
 Model notes and deliberate approximations
 -----------------------------------------
 
@@ -59,9 +85,19 @@ __all__ = [
     "GilbertGraph",
     "ScaleFreeGilbert",
     "TopologySpec",
+    "NeighborCSR",
     "build_topology",
     "gilbert_connectivity_radius",
+    "SPARSE_NODE_THRESHOLD",
 ]
+
+
+SPARSE_NODE_THRESHOLD = 4096
+"""Device count (``n + 1``, nodes plus Alice) above which spatial topologies
+default to the sparse CSR backend.  At the threshold the dense boolean
+adjacency is ~16 MiB; one step past it the quadratic growth starts to crowd
+out the engines, while the CSR representation stays linear in the edge
+count."""
 
 
 def gilbert_connectivity_radius(n: int) -> float:
@@ -77,6 +113,333 @@ def gilbert_connectivity_radius(n: int) -> float:
     if n < 2:
         raise ConfigurationError(f"connectivity radius needs n >= 2, got {n}")
     return math.sqrt(math.log(n) / (math.pi * n))
+
+
+# --------------------------------------------------------------------------- #
+# Compressed-sparse-row neighbourhoods                                        #
+# --------------------------------------------------------------------------- #
+
+
+def _gather_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[start, start + count)`` index ranges, vectorised.
+
+    The workhorse behind every CSR multi-row slice: given per-row start
+    offsets and lengths it returns the flat index array selecting all of the
+    rows' entries at once, without a Python loop.
+    """
+
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + offsets
+
+
+@dataclass(frozen=True)
+class NeighborCSR:
+    """Compressed-sparse-row adjacency over device *rows*.
+
+    Row indexing follows the adjacency-matrix convention used throughout the
+    topology layer: rows ``0 .. n-1`` are the correct nodes (row = node id)
+    and row ``n`` is Alice.  Synthetic Byzantine sender ids (``<= -2``) have
+    no row — they are audible everywhere by model fiat and are handled by the
+    callers, not the graph.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of shape ``(num_rows + 1,)``; row ``r``'s neighbours
+        live at ``indices[indptr[r]:indptr[r+1]]``.
+    indices:
+        ``int32`` array of shape ``(nnz,)`` holding neighbour *rows*, sorted
+        ascending within each row.  Symmetric (``v in row(u)`` iff
+        ``u in row(v)``) with an empty diagonal (no self-loops).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored directed edges (twice the undirected edge count)."""
+
+        return int(self.indices.size)
+
+    def row(self, row_index: int) -> np.ndarray:
+        """Neighbour rows of ``row_index`` (a sorted ``int32`` view, not a copy)."""
+
+        return self.indices[self.indptr[row_index] : self.indptr[row_index + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Per-row neighbour counts, shape ``(num_rows,)``, dtype ``int64``."""
+
+        return np.diff(self.indptr)
+
+    def contains(self, row_index: int, neighbor_row: int) -> bool:
+        """Whether ``neighbor_row`` appears in ``row_index``'s neighbour list."""
+
+        row = self.row(row_index)
+        pos = np.searchsorted(row, neighbor_row)
+        return bool(pos < row.size and row[pos] == neighbor_row)
+
+    def expand(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Slice many rows at once: the per-listener/per-sender bulk primitive.
+
+        Returns ``(origins, neighbors)`` where ``origins[i]`` indexes into the
+        input ``rows`` array and ``neighbors[i]`` is one neighbour row of
+        ``rows[origins[i]]``.  Cost is ``O(sum of the rows' degrees)`` — this
+        is what the vectorised engine uses to resolve audibility over only the
+        currently-active device sets.
+        """
+
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = self.indptr[rows + 1] - self.indptr[rows]
+        origins = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+        flat = _gather_ranges(self.indptr[rows], counts)
+        return origins, self.indices[flat].astype(np.int64, copy=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the boolean adjacency matrix (Θ(num_rows²) memory)."""
+
+        m = self.num_rows
+        dense = np.zeros((m, m), dtype=bool)
+        rows = np.repeat(np.arange(m, dtype=np.int64), self.degrees())
+        dense[rows, self.indices.astype(np.int64, copy=False)] = True
+        return dense
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the CSR arrays."""
+
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+
+def _edges_to_csr(us: np.ndarray, vs: np.ndarray, num_rows: int) -> NeighborCSR:
+    """Build a symmetric :class:`NeighborCSR` from unordered edge endpoints.
+
+    ``(us[i], vs[i])`` are undirected edges with ``us[i] != vs[i]``, each
+    unordered pair appearing exactly once.
+    """
+
+    rows = np.concatenate([us, vs])
+    cols = np.concatenate([vs, us])
+    order = np.lexsort((cols, rows))
+    rows = rows[order]
+    cols = cols[order]
+    counts = np.bincount(rows, minlength=num_rows)
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
+    return NeighborCSR(indptr=indptr, indices=cols.astype(np.int32))
+
+
+def _directed_edges_to_csr(us: np.ndarray, vs: np.ndarray, num_rows: int) -> NeighborCSR:
+    """Symmetrise a *directed* edge list (possibly with duplicates) into CSR."""
+
+    m = np.int64(num_rows)
+    keys = np.concatenate([us * m + vs, vs * m + us])
+    keys = np.unique(keys)
+    rows = keys // m
+    cols = keys % m
+    counts = np.bincount(rows, minlength=num_rows)
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
+    return NeighborCSR(indptr=indptr, indices=cols.astype(np.int32))
+
+
+# --------------------------------------------------------------------------- #
+# Grid-index edge construction                                                #
+# --------------------------------------------------------------------------- #
+
+
+class _CellGrid:
+    """Uniform-grid spatial index over points in the unit square.
+
+    Buckets the ``m`` points into square cells of side ``cell`` and exposes
+    the occupied cells as contiguous runs of a sorted point permutation, so
+    neighbourhood queries touch only nearby buckets.  Construction is
+    ``O(m log m)``; memory is ``O(m)`` regardless of the grid resolution
+    (empty cells are never materialised).
+    """
+
+    def __init__(self, positions: np.ndarray, cell: float) -> None:
+        self.cell = cell
+        self.grid_dim = max(1, int(math.ceil(1.0 / cell)))
+        coords = np.clip((positions / cell).astype(np.int64), 0, self.grid_dim - 1)
+        self.coords = coords
+        self.cell_ids = coords[:, 0] * self.grid_dim + coords[:, 1]
+        self.order = np.argsort(self.cell_ids, kind="stable")
+        sorted_ids = self.cell_ids[self.order]
+        self.occupied, self.starts, self.counts = np.unique(
+            sorted_ids, return_index=True, return_counts=True
+        )
+
+    def lookup(self, cell_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map cell ids to ``(slot, found)`` in the occupied-cell table."""
+
+        slot = np.searchsorted(self.occupied, cell_ids)
+        slot_clipped = np.minimum(slot, self.occupied.size - 1)
+        found = (slot < self.occupied.size) & (self.occupied[slot_clipped] == cell_ids)
+        return slot_clipped, found
+
+
+def _cross_pairs(
+    a_starts: np.ndarray, a_counts: np.ndarray, b_starts: np.ndarray, b_counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (a, b) index pairs between matched bucket runs, vectorised."""
+
+    a_counts = np.asarray(a_counts, dtype=np.int64)
+    b_counts = np.asarray(b_counts, dtype=np.int64)
+    rep = a_counts * b_counts
+    total = int(rep.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pair_bucket = np.repeat(np.arange(rep.size, dtype=np.int64), rep)
+    within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(rep) - rep, rep)
+    bc = b_counts[pair_bucket]
+    ai = within // bc
+    bi = within % bc
+    return a_starts[pair_bucket] + ai, b_starts[pair_bucket] + bi
+
+
+# Offsets covering each unordered pair of adjacent cells exactly once
+# (the standard half-neighbourhood sweep for symmetric predicates).
+_HALF_OFFSETS = ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def _gilbert_edges_grid(positions: np.ndarray, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge list of the Gilbert graph via a uniform grid: ``O(m · E[deg])``.
+
+    Cells have side ``radius``, so every edge joins points in the same or
+    adjacent cells; only those candidate pairs are distance-checked.  The
+    predicate (``dist² <= radius²`` on the same float operations) matches the
+    dense all-pairs construction bit for bit, so both backends realise the
+    identical graph.
+    """
+
+    grid = _CellGrid(positions, min(radius, 1.0))
+    g = grid.grid_dim
+    r2 = radius * radius
+    cx = grid.occupied // g
+    cy = grid.occupied % g
+    us: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+    for dx, dy in _HALF_OFFSETS:
+        if dx == 0 and dy == 0:
+            busy = np.flatnonzero(grid.counts > 1)
+            a_pos, b_pos = _cross_pairs(
+                grid.starts[busy], grid.counts[busy], grid.starts[busy], grid.counts[busy]
+            )
+            keep = a_pos < b_pos
+            a_pos, b_pos = a_pos[keep], b_pos[keep]
+        else:
+            nx, ny = cx + dx, cy + dy
+            valid = (nx < g) & (ny >= 0) & (ny < g)
+            a_slots = np.flatnonzero(valid)
+            slot, found = grid.lookup(nx[valid] * g + ny[valid])
+            a_slots, b_slots = a_slots[found], slot[found]
+            a_pos, b_pos = _cross_pairs(
+                grid.starts[a_slots],
+                grid.counts[a_slots],
+                grid.starts[b_slots],
+                grid.counts[b_slots],
+            )
+        if a_pos.size == 0:
+            continue
+        u = grid.order[a_pos]
+        v = grid.order[b_pos]
+        deltas = positions[u] - positions[v]
+        close = (deltas ** 2).sum(axis=1) <= r2
+        us.append(u[close])
+        vs.append(v[close])
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(us), np.concatenate(vs)
+
+
+_SCALE_FREE_GRID_BANDS = 8
+"""Radius bands (in cell units) resolved through the grid; devices with even
+larger radii are hubs that genuinely reach a large fraction of the square, so
+they fall back to a direct distance sweep."""
+
+
+def _scale_free_edges_grid(
+    positions: np.ndarray, radii: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed edge list ``u -> v`` with ``dist(u, v) <= r_u`` via the grid.
+
+    Symmetrising the result yields the undirected ``max``-linkage graph:
+    ``dist <= max(r_u, r_v)`` iff ``dist <= r_u`` or ``dist <= r_v``.  Each
+    device scans the ``(2k+1)²`` cell window covering its own radius
+    (``k = ceil(r_u / cell)``), so work is proportional to its true degree;
+    the few heavy-tailed hubs whose window would exceed
+    :data:`_SCALE_FREE_GRID_BANDS` bands are resolved against all points
+    directly (they connect to a large fraction of them anyway).
+    """
+
+    m = positions.shape[0]
+    cell = min(max(float(np.median(radii)), 1e-6), 1.0)
+    grid = _CellGrid(positions, cell)
+    g = grid.grid_dim
+    bands = np.maximum(np.ceil(radii / cell).astype(np.int64), 1)
+    grid_devices = bands <= _SCALE_FREE_GRID_BANDS
+    us: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+
+    for k in np.unique(bands[grid_devices]):
+        group = np.flatnonzero(grid_devices & (bands == k))
+        gx = grid.coords[group, 0]
+        gy = grid.coords[group, 1]
+        for dx in range(-int(k), int(k) + 1):
+            for dy in range(-int(k), int(k) + 1):
+                nx, ny = gx + dx, gy + dy
+                valid = (nx >= 0) & (nx < g) & (ny >= 0) & (ny < g)
+                srcs = group[valid]
+                slot, found = grid.lookup(nx[valid] * g + ny[valid])
+                srcs, slots = srcs[found], slot[found]
+                if srcs.size == 0:
+                    continue
+                rep = grid.counts[slots]
+                u = np.repeat(srcs, rep)
+                v = grid.order[_gather_ranges(grid.starts[slots], rep)]
+                deltas = positions[u] - positions[v]
+                close = ((deltas ** 2).sum(axis=1) <= radii[u] ** 2) & (u != v)
+                us.append(u[close])
+                vs.append(v[close])
+
+    hubs = np.flatnonzero(~grid_devices)
+    for start in range(0, hubs.size, 64):
+        chunk = hubs[start : start + 64]
+        deltas = positions[chunk][:, None, :] - positions[None, :, :]
+        close = (deltas ** 2).sum(axis=-1) <= radii[chunk][:, None] ** 2
+        u_idx, v_idx = np.nonzero(close)
+        u = chunk[u_idx]
+        v = v_idx.astype(np.int64)
+        keep = u != v
+        us.append(u[keep])
+        vs.append(v[keep])
+
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(us), np.concatenate(vs)
+
+
+def _resolve_sparse(num_devices: int, sparse: Optional[bool]) -> bool:
+    """Apply the dense/sparse crossover: explicit override, else by size."""
+
+    if sparse is not None:
+        return bool(sparse)
+    return num_devices > SPARSE_NODE_THRESHOLD
+
+
+# --------------------------------------------------------------------------- #
+# Topology specification                                                      #
+# --------------------------------------------------------------------------- #
 
 
 @dataclass(frozen=True)
@@ -104,6 +467,12 @@ class TopologySpec:
     alice_placement:
         ``"center"`` (default) pins Alice to (0.5, 0.5); ``"random"`` samples
         her position like any node.
+    sparse:
+        Adjacency backend override: ``True`` forces the CSR representation,
+        ``False`` forces the dense matrix, ``None`` (default) crosses over
+        automatically at :data:`SPARSE_NODE_THRESHOLD` devices.  Both
+        backends realise the identical graph; this knob trades memory/speed
+        only.  Ignored by ``"single_hop"`` (which stores no adjacency).
     """
 
     kind: str = "single_hop"
@@ -111,6 +480,7 @@ class TopologySpec:
     alpha: float = 2.5
     min_radius: Optional[float] = None
     alice_placement: str = "center"
+    sparse: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("single_hop", "gilbert", "scale_free"):
@@ -128,24 +498,44 @@ class TopologySpec:
             raise ConfigurationError(
                 f"alice_placement must be 'center' or 'random', got {self.alice_placement!r}"
             )
+        if self.sparse is not None and not isinstance(self.sparse, bool):
+            raise ConfigurationError(
+                f"sparse must be True, False, or None (auto), got {self.sparse!r}"
+            )
 
     @staticmethod
     def single_hop() -> "TopologySpec":
         return TopologySpec(kind="single_hop")
 
     @staticmethod
-    def gilbert(radius: Optional[float] = None, alice_placement: str = "center") -> "TopologySpec":
-        return TopologySpec(kind="gilbert", radius=radius, alice_placement=alice_placement)
+    def gilbert(
+        radius: Optional[float] = None,
+        alice_placement: str = "center",
+        sparse: Optional[bool] = None,
+    ) -> "TopologySpec":
+        return TopologySpec(
+            kind="gilbert", radius=radius, alice_placement=alice_placement, sparse=sparse
+        )
 
     @staticmethod
     def scale_free(
         alpha: float = 2.5,
         min_radius: Optional[float] = None,
         alice_placement: str = "center",
+        sparse: Optional[bool] = None,
     ) -> "TopologySpec":
         return TopologySpec(
-            kind="scale_free", alpha=alpha, min_radius=min_radius, alice_placement=alice_placement
+            kind="scale_free",
+            alpha=alpha,
+            min_radius=min_radius,
+            alice_placement=alice_placement,
+            sparse=sparse,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Topology base class                                                         #
+# --------------------------------------------------------------------------- #
 
 
 class Topology(abc.ABC):
@@ -154,6 +544,11 @@ class Topology(abc.ABC):
     Device addressing follows the rest of the simulator: correct nodes are
     ``0 .. n-1`` and Alice is :data:`~repro.simulation.auth.ALICE_ID` (-1).
     Synthetic adversarial sender ids (``<= -2``) are audible everywhere.
+
+    Internally every concrete topology indexes devices by *row*: node ``i``
+    is row ``i`` and Alice is row ``n`` (the **Alice-last convention**).
+    The public query API speaks device ids; only :meth:`neighbor_csr` (the
+    bulk interface consumed by the vectorised engine) exposes rows directly.
     """
 
     name: str = "topology"
@@ -173,14 +568,31 @@ class Topology(abc.ABC):
 
         return False
 
+    @property
+    def backend(self) -> str:
+        """Adjacency representation: ``"dense"``, ``"sparse"``, or ``"implicit"``.
+
+        ``"implicit"`` means no adjacency is stored at all (single-hop: the
+        graph is a clique by definition).  The engines dispatch on this — the
+        sparse backend routes :class:`~repro.simulation.fastengine.PhaseEngine`
+        through its event-driven CSR path.
+        """
+
+        return "implicit"
+
     def _index(self, device_id: int) -> int:
-        """Map a device id to its row in the adjacency matrix (Alice last)."""
+        """Map a device id to its row (Alice last: nodes ``0..n-1``, Alice ``n``)."""
 
         if device_id == ALICE_ID:
             return self.n
         if 0 <= device_id < self.n:
             return device_id
         raise ConfigurationError(f"unknown device id {device_id} for topology over n={self.n}")
+
+    def _device_id(self, row: int) -> int:
+        """Inverse of :meth:`_index`."""
+
+        return ALICE_ID if row == self.n else int(row)
 
     @abc.abstractmethod
     def can_hear(self, listener_id: int, sender_id: int) -> bool:
@@ -190,30 +602,103 @@ class Topology(abc.ABC):
     def reach_matrix(self, listener_ids: Sequence[int], sender_ids: Sequence[int]) -> np.ndarray:
         """Boolean matrix ``M[i, j]`` = listener ``i`` hears sender ``j``.
 
-        Self-pairs are always ``False`` (a radio never hears itself).
-        Synthetic Byzantine sender ids (``<= -2``) yield all-``True`` columns:
-        the model grants Carol a transmitter wherever it hurts most.
+        Parameters
+        ----------
+        listener_ids:
+            Device ids (``0..n-1`` or :data:`~repro.simulation.auth.ALICE_ID`)
+            selecting the rows of the result, in order.
+        sender_ids:
+            Device ids selecting the columns.  May include synthetic
+            Byzantine sender ids (``<= -2``), which yield all-``True``
+            columns: the model grants Carol a transmitter wherever it hurts
+            most.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(listener_ids), len(sender_ids))``, dtype ``bool``.
+            Self-pairs are always ``False`` (a radio never hears itself).
         """
 
     def reach_matrix_f32(
         self, listener_ids: Sequence[int], sender_ids: Sequence[int]
     ) -> np.ndarray:
-        """``reach_matrix`` as float32, ready for matmul accumulation.
+        """:meth:`reach_matrix` as ``float32``, ready for matmul accumulation.
 
-        Spatial subclasses slice a cached float32 cast of the adjacency so
-        vectorised engines do not re-convert the immutable graph every phase.
+        Same shape and semantics as :meth:`reach_matrix`; dense spatial
+        backends slice a cached float32 cast of the adjacency so vectorised
+        engines do not re-convert the immutable graph every phase.
         """
 
         return self.reach_matrix(listener_ids, sender_ids).astype(np.float32)
 
     @abc.abstractmethod
+    def neighbor_csr(self) -> NeighborCSR:
+        """The adjacency as a :class:`NeighborCSR` over device rows.
+
+        Rows are Alice-last (``0..n-1`` nodes, ``n`` Alice); the result is
+        symmetric with an empty diagonal and is cached on first call.  This
+        is the bulk neighbourhood interface the vectorised engine slices per
+        phase.  For :class:`SingleHop` the clique CSR is Θ(n²) — call it only
+        at small ``n`` (the engines never do; they special-case single-hop).
+        """
+
+    def neighbor_slice(self, device_id: int) -> np.ndarray:
+        """Device ids audible from ``device_id`` as a sorted ``int64`` array.
+
+        The array view of :meth:`neighbors`: node ids ascending, with
+        :data:`~repro.simulation.auth.ALICE_ID` (-1) *first* when Alice is in
+        range (ids are returned in device-id order, and Alice's id is -1).
+        """
+
+        csr = self.neighbor_csr()
+        rows = csr.row(self._index(device_id)).astype(np.int64, copy=True)
+        out = np.where(rows == self.n, ALICE_ID, rows)
+        out.sort()
+        return out
+
     def neighbors(self, device_id: int) -> FrozenSet[int]:
         """All device ids audible from ``device_id`` (may include Alice)."""
+
+        csr = self.neighbor_csr()
+        row = csr.row(self._index(device_id))
+        return frozenset(self._device_id(int(r)) for r in row)
 
     def node_neighbors(self, device_id: int) -> FrozenSet[int]:
         """Correct-node neighbours only (Alice excluded)."""
 
         return frozenset(v for v in self.neighbors(device_id) if v != ALICE_ID)
+
+    def any_neighbor_in(
+        self, device_ids: Sequence[int], member_ids: Iterable[int]
+    ) -> np.ndarray:
+        """For each device, whether any of its neighbours is in ``member_ids``.
+
+        Returns a boolean array aligned with ``device_ids``.  This is the
+        multi-hop frontier primitive: :class:`~repro.core.broadcast.MultiHopBroadcast`
+        retires a relay exactly when it has no active uninformed neighbour
+        left.  Cost is ``O(sum of the devices' degrees)`` via one CSR slice.
+        """
+
+        device_ids = np.asarray(list(device_ids), dtype=np.int64)
+        out = np.zeros(device_ids.size, dtype=bool)
+        if device_ids.size == 0:
+            return out
+        member_mask = np.zeros(self.n + 1, dtype=bool)
+        for member in member_ids:
+            member_mask[self._index(int(member))] = True
+        if not member_mask.any():
+            return out
+        csr = self.neighbor_csr()
+        rows = np.array([self._index(int(d)) for d in device_ids], dtype=np.int64)
+        origins, nbrs = csr.expand(rows)
+        out[origins[member_mask[nbrs]]] = True
+        return out
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the realised adjacency (0 for implicit topologies)."""
+
+        return 0
 
     # ------------------------------------------------------------------ #
     # Spatial queries (used by spatial jamming and experiments)           #
@@ -240,29 +725,47 @@ class Topology(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def degrees(self) -> np.ndarray:
-        """Per-node degree counting correct-node neighbours only."""
+        """Per-node degree counting correct-node neighbours only.
 
-        return np.array([len(self.node_neighbors(u)) for u in range(self.n)], dtype=np.int64)
+        Shape ``(n,)``, dtype ``int64``, indexed by node id; Alice's row is
+        excluded from the output and her column from every count (the
+        **Alice-exclusion convention** shared by the component statistics).
+        """
+
+        csr = self.neighbor_csr()
+        node_edge = csr.indices < self.n
+        cumulative = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(node_edge, dtype=np.int64)]
+        )
+        return cumulative[csr.indptr[1 : self.n + 1]] - cumulative[csr.indptr[: self.n]]
+
+    def _node_frontier_bfs(self, start_rows: np.ndarray, seen: np.ndarray) -> np.ndarray:
+        """Rows of nodes reachable from ``start_rows`` over node-node edges."""
+
+        csr = self.neighbor_csr()
+        members = [start_rows]
+        frontier = start_rows
+        while frontier.size:
+            _, nbrs = csr.expand(frontier)
+            nbrs = nbrs[nbrs < self.n]
+            nbrs = np.unique(nbrs)
+            new = nbrs[~seen[nbrs]]
+            seen[new] = True
+            members.append(new)
+            frontier = new
+        return np.concatenate(members)
 
     def connected_components(self) -> List[FrozenSet[int]]:
         """Connected components of the node-node graph (Alice excluded)."""
 
-        seen = [False] * self.n
+        seen = np.zeros(self.n, dtype=bool)
         components: List[FrozenSet[int]] = []
         for start in range(self.n):
             if seen[start]:
                 continue
-            stack = [start]
             seen[start] = True
-            component = {start}
-            while stack:
-                u = stack.pop()
-                for v in self.node_neighbors(u):
-                    if not seen[v]:
-                        seen[v] = True
-                        component.add(v)
-                        stack.append(v)
-            components.append(frozenset(component))
+            rows = self._node_frontier_bfs(np.array([start], dtype=np.int64), seen)
+            components.append(frozenset(int(r) for r in rows))
         return components
 
     def largest_component_fraction(self) -> float:
@@ -280,15 +783,15 @@ class Topology(abc.ABC):
         matter how many hops relays provide.
         """
 
-        frontier = [v for v in self.neighbors(ALICE_ID) if v != ALICE_ID]
-        seen = set(frontier)
-        while frontier:
-            u = frontier.pop()
-            for v in self.node_neighbors(u):
-                if v not in seen:
-                    seen.add(v)
-                    frontier.append(v)
-        return frozenset(seen)
+        csr = self.neighbor_csr()
+        alice_nbrs = csr.row(self.n).astype(np.int64, copy=False)
+        alice_nbrs = alice_nbrs[alice_nbrs < self.n]
+        if alice_nbrs.size == 0:
+            return frozenset()
+        seen = np.zeros(self.n, dtype=bool)
+        seen[alice_nbrs] = True
+        rows = self._node_frontier_bfs(alice_nbrs, seen)
+        return frozenset(int(r) for r in rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(n={self.n})"
@@ -299,10 +802,17 @@ class SingleHop(Topology):
 
     This class exists so the rest of the stack can treat topology uniformly;
     both engines and the channel check :attr:`is_single_hop` and take their
-    original code paths, keeping seed outcomes bit-identical.
+    original code paths, keeping seed outcomes bit-identical.  No adjacency
+    is stored (:attr:`backend` is ``"implicit"``); :meth:`neighbor_csr`
+    materialises the clique on demand and is intended for small-``n``
+    diagnostics only.
     """
 
     name = "single_hop"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._csr: Optional[NeighborCSR] = None
 
     @property
     def is_single_hop(self) -> bool:
@@ -316,29 +826,73 @@ class SingleHop(Topology):
         senders = np.asarray(list(sender_ids), dtype=np.int64)
         return listeners[:, None] != senders[None, :]
 
+    def neighbor_csr(self) -> NeighborCSR:
+        if self._csr is None:
+            m = self.n + 1
+            indptr = np.arange(m + 1, dtype=np.int64) * (m - 1)
+            grid = np.broadcast_to(np.arange(m, dtype=np.int32), (m, m))
+            indices = grid[~np.eye(m, dtype=bool)]
+            self._csr = NeighborCSR(indptr=indptr, indices=np.ascontiguousarray(indices))
+        return self._csr
+
     def neighbors(self, device_id: int) -> FrozenSet[int]:
         self._index(device_id)
         everyone = set(range(self.n)) | {ALICE_ID}
         everyone.discard(device_id)
         return frozenset(everyone)
 
+    def any_neighbor_in(
+        self, device_ids: Sequence[int], member_ids: Iterable[int]
+    ) -> np.ndarray:
+        members = {self._index(int(m)) for m in member_ids}
+        return np.array(
+            [bool(members - {self._index(int(d))}) for d in device_ids], dtype=bool
+        )
+
+    def degrees(self) -> np.ndarray:
+        return np.full(self.n, self.n - 1, dtype=np.int64)
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        return [frozenset(range(self.n))]
+
+    def reachable_from_alice(self) -> FrozenSet[int]:
+        return frozenset(range(self.n))
+
 
 class _SpatialTopology(Topology):
     """Shared implementation for position-based topologies.
 
     Subclasses provide positions (rows ``0..n-1`` for nodes, row ``n`` for
-    Alice) and a symmetric boolean adjacency with a zero diagonal.
+    Alice) and the realised symmetric adjacency in exactly one backend:
+    either a dense boolean matrix with a zero diagonal, or a
+    :class:`NeighborCSR`.  Queries work identically against both; the dense
+    matrix (and its cached float32 cast) exists only below the memory
+    crossover, the CSR only above it unless forced.
     """
 
-    def __init__(self, positions: np.ndarray, adjacency: np.ndarray) -> None:
+    def __init__(
+        self,
+        positions: np.ndarray,
+        adjacency: Optional[np.ndarray] = None,
+        csr: Optional[NeighborCSR] = None,
+    ) -> None:
         n = positions.shape[0] - 1
         super().__init__(n)
         if positions.shape != (n + 1, 2):
             raise ConfigurationError(f"positions must have shape (n+1, 2), got {positions.shape}")
-        if adjacency.shape != (n + 1, n + 1):
+        if (adjacency is None) == (csr is None):
+            raise ConfigurationError(
+                "exactly one adjacency backend (dense matrix or CSR) is required"
+            )
+        if adjacency is not None and adjacency.shape != (n + 1, n + 1):
             raise ConfigurationError(f"adjacency must have shape (n+1, n+1), got {adjacency.shape}")
+        if csr is not None and csr.num_rows != n + 1:
+            raise ConfigurationError(
+                f"CSR adjacency must have {n + 1} rows, got {csr.num_rows}"
+            )
         self._positions = positions
         self._adjacency = adjacency
+        self._csr = csr
         # The graph is immutable after construction, and the multi-hop relay
         # layer asks for the same neighbourhoods every phase — memoise them,
         # along with the float32 cast the vectorised engine matmuls against.
@@ -347,21 +901,55 @@ class _SpatialTopology(Topology):
         self._adjacency_f32: Optional[np.ndarray] = None
 
     @property
+    def backend(self) -> str:
+        return "dense" if self._adjacency is not None else "sparse"
+
+    @property
     def positions(self) -> np.ndarray:
-        """Copy of all positions; row ``n`` is Alice."""
+        """Copy of all positions: shape ``(n+1, 2)`` float64, row ``n`` is Alice."""
 
         return self._positions.copy()
 
     @property
     def adjacency(self) -> np.ndarray:
-        """Copy of the full (n+1)×(n+1) boolean adjacency; row ``n`` is Alice."""
+        """Copy of the full (n+1)×(n+1) boolean adjacency; row ``n`` is Alice.
 
-        return self._adjacency.copy()
+        On the sparse backend this *materialises* the dense matrix — Θ(n²)
+        memory — and is meant for tests and small-n diagnostics; large-n
+        code paths should slice :meth:`neighbor_csr` instead.
+        """
+
+        if self._adjacency is not None:
+            return self._adjacency.copy()
+        return self._csr.to_dense()
+
+    def neighbor_csr(self) -> NeighborCSR:
+        if self._csr is None:
+            dense = self._adjacency
+            counts = dense.sum(axis=1, dtype=np.int64)
+            indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+            indices = np.nonzero(dense)[1].astype(np.int32)
+            self._csr = NeighborCSR(indptr=indptr, indices=indices)
+        return self._csr
+
+    def memory_bytes(self) -> int:
+        total = 0
+        if self._adjacency is not None:
+            total += int(self._adjacency.nbytes)
+        if self._adjacency_f32 is not None:
+            total += int(self._adjacency_f32.nbytes)
+        if self._csr is not None:
+            total += self._csr.memory_bytes()
+        return total
 
     def can_hear(self, listener_id: int, sender_id: int) -> bool:
         if sender_id <= -2:  # synthetic Byzantine transmitter: audible everywhere
             return True
-        return bool(self._adjacency[self._index(listener_id), self._index(sender_id)])
+        listener_row = self._index(listener_id)
+        sender_row = self._index(sender_id)
+        if self._adjacency is not None:
+            return bool(self._adjacency[listener_row, sender_row])
+        return self._csr.contains(listener_row, sender_row)
 
     def _reach_from(
         self, matrix: np.ndarray, listener_ids: Sequence[int], sender_ids: Sequence[int]
@@ -379,12 +967,45 @@ class _SpatialTopology(Topology):
             out[:, real] = matrix[np.ix_(l_idx, s_idx)]
         return out
 
+    def _reach_sparse(
+        self, listener_ids: Sequence[int], sender_ids: Sequence[int], dtype
+    ) -> np.ndarray:
+        l_rows = np.array([self._index(d) for d in listener_ids], dtype=np.int64)
+        senders = np.asarray(list(sender_ids), dtype=np.int64)
+        out = np.zeros((l_rows.size, senders.size), dtype=dtype)
+        if l_rows.size == 0 or senders.size == 0:
+            return out
+        byzantine = senders <= -2
+        out[:, byzantine] = 1
+        real_cols = np.flatnonzero(~byzantine)
+        if real_cols.size:
+            s_rows = np.array(
+                [self._index(int(senders[c])) for c in real_cols], dtype=np.int64
+            )
+            # Deduplicate sender rows before the scatter: a row-to-column map
+            # can hold only one column, so repeated sender ids are resolved
+            # against the unique rows and broadcast back over the duplicates.
+            uniq_rows, inverse = np.unique(s_rows, return_inverse=True)
+            sender_pos = np.full(self.n + 1, -1, dtype=np.int64)
+            sender_pos[uniq_rows] = np.arange(uniq_rows.size, dtype=np.int64)
+            origins, nbrs = self._csr.expand(l_rows)
+            cols = sender_pos[nbrs]
+            hit = cols >= 0
+            reach = np.zeros((l_rows.size, uniq_rows.size), dtype=dtype)
+            reach[origins[hit], cols[hit]] = 1
+            out[:, real_cols] = reach[:, inverse]
+        return out
+
     def reach_matrix(self, listener_ids: Sequence[int], sender_ids: Sequence[int]) -> np.ndarray:
-        return self._reach_from(self._adjacency, listener_ids, sender_ids)
+        if self._adjacency is not None:
+            return self._reach_from(self._adjacency, listener_ids, sender_ids)
+        return self._reach_sparse(listener_ids, sender_ids, bool)
 
     def reach_matrix_f32(
         self, listener_ids: Sequence[int], sender_ids: Sequence[int]
     ) -> np.ndarray:
+        if self._adjacency is None:
+            return self._reach_sparse(listener_ids, sender_ids, np.float32)
         if self._adjacency_f32 is None:
             self._adjacency_f32 = self._adjacency.astype(np.float32)
         return self._reach_from(self._adjacency_f32, listener_ids, sender_ids)
@@ -392,9 +1013,12 @@ class _SpatialTopology(Topology):
     def neighbors(self, device_id: int) -> FrozenSet[int]:
         cached = self._neighbor_cache.get(device_id)
         if cached is None:
-            row = self._adjacency[self._index(device_id)]
-            ids = np.flatnonzero(row)
-            cached = frozenset(ALICE_ID if int(i) == self.n else int(i) for i in ids)
+            row = self._index(device_id)
+            if self._adjacency is not None:
+                ids = np.flatnonzero(self._adjacency[row])
+            else:
+                ids = self._csr.row(row)
+            cached = frozenset(self._device_id(int(i)) for i in ids)
             self._neighbor_cache[device_id] = cached
         return cached
 
@@ -414,10 +1038,12 @@ class _SpatialTopology(Topology):
             raise ConfigurationError(f"disk radius must be non-negative, got {radius}")
         deltas = self._positions - np.asarray(center, dtype=float)[None, :]
         inside = np.flatnonzero((deltas ** 2).sum(axis=1) <= radius ** 2)
-        return frozenset(ALICE_ID if int(i) == self.n else int(i) for i in inside)
+        return frozenset(self._device_id(int(i)) for i in inside)
 
     def degrees(self) -> np.ndarray:
-        return self._adjacency[: self.n, : self.n].sum(axis=1).astype(np.int64)
+        if self._adjacency is not None:
+            return self._adjacency[: self.n, : self.n].sum(axis=1).astype(np.int64)
+        return super().degrees()
 
 
 def _sample_positions(n: int, rng: np.random.Generator, alice_placement: str) -> np.ndarray:
@@ -435,17 +1061,35 @@ class GilbertGraph(_SpatialTopology):
 
     ``u ~ v`` iff ``dist(u, v) <= radius``; positions are uniform i.i.d.
     Use :meth:`sample` to build one deterministically from a generator.
+
+    Parameters
+    ----------
+    positions:
+        Float64 array of shape ``(n+1, 2)``; row ``n`` is Alice (Alice-last
+        convention).
+    radius:
+        Connection radius in unit-square coordinates; must be positive.
+    sparse:
+        Backend override (``True`` CSR, ``False`` dense, ``None`` automatic
+        crossover at :data:`SPARSE_NODE_THRESHOLD` devices).  Either backend
+        realises the identical edge set.
     """
 
     name = "gilbert"
 
-    def __init__(self, positions: np.ndarray, radius: float) -> None:
+    def __init__(
+        self, positions: np.ndarray, radius: float, sparse: Optional[bool] = None
+    ) -> None:
         if radius <= 0:
             raise ConfigurationError(f"radius must be positive, got {radius}")
-        distances_sq = _pairwise_sq_distances(positions)
-        adjacency = distances_sq <= radius ** 2
-        np.fill_diagonal(adjacency, False)
-        super().__init__(positions, adjacency)
+        if _resolve_sparse(positions.shape[0], sparse):
+            us, vs = _gilbert_edges_grid(positions, radius)
+            super().__init__(positions, csr=_edges_to_csr(us, vs, positions.shape[0]))
+        else:
+            distances_sq = _pairwise_sq_distances(positions)
+            adjacency = distances_sq <= radius ** 2
+            np.fill_diagonal(adjacency, False)
+            super().__init__(positions, adjacency=adjacency)
         self.radius = radius
 
     @classmethod
@@ -455,11 +1099,19 @@ class GilbertGraph(_SpatialTopology):
         radius: float,
         rng: np.random.Generator,
         alice_placement: str = "center",
+        sparse: Optional[bool] = None,
     ) -> "GilbertGraph":
-        return cls(_sample_positions(n, rng, alice_placement), radius)
+        """Sample positions from ``rng`` and realise the graph.
+
+        ``n`` correct nodes plus Alice (pinned to the centre unless
+        ``alice_placement="random"``); ``sparse`` is forwarded to the
+        constructor's backend crossover.
+        """
+
+        return cls(_sample_positions(n, rng, alice_placement), radius, sparse=sparse)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"GilbertGraph(n={self.n}, radius={self.radius:.4f})"
+        return f"GilbertGraph(n={self.n}, radius={self.radius:.4f}, backend={self.backend})"
 
 
 class ScaleFreeGilbert(_SpatialTopology):
@@ -473,18 +1125,43 @@ class ScaleFreeGilbert(_SpatialTopology):
     arXiv:1411.6824 (undirected ``max`` convention; radii are truncated at
     ``sqrt(2)``, the diameter of the unit square, which only affects the
     extreme tail).
+
+    Parameters
+    ----------
+    positions:
+        Float64 array of shape ``(n+1, 2)``; row ``n`` is Alice.
+    radii:
+        Float64 array of shape ``(n+1,)`` — one radio radius per device,
+        Alice-last like ``positions``.
+    alpha, min_radius:
+        The Pareto parameters the radii were drawn with (kept for reporting).
+    sparse:
+        Backend override; see :class:`GilbertGraph`.
     """
 
     name = "scale_free"
 
-    def __init__(self, positions: np.ndarray, radii: np.ndarray, alpha: float, min_radius: float) -> None:
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radii: np.ndarray,
+        alpha: float,
+        min_radius: float,
+        sparse: Optional[bool] = None,
+    ) -> None:
         if radii.shape[0] != positions.shape[0]:
             raise ConfigurationError("one radius per device (including Alice) is required")
-        distances_sq = _pairwise_sq_distances(positions)
-        link_radius = np.maximum(radii[:, None], radii[None, :])
-        adjacency = distances_sq <= link_radius ** 2
-        np.fill_diagonal(adjacency, False)
-        super().__init__(positions, adjacency)
+        if _resolve_sparse(positions.shape[0], sparse):
+            us, vs = _scale_free_edges_grid(positions, radii)
+            super().__init__(
+                positions, csr=_directed_edges_to_csr(us, vs, positions.shape[0])
+            )
+        else:
+            distances_sq = _pairwise_sq_distances(positions)
+            link_radius = np.maximum(radii[:, None], radii[None, :])
+            adjacency = distances_sq <= link_radius ** 2
+            np.fill_diagonal(adjacency, False)
+            super().__init__(positions, adjacency=adjacency)
         self.alpha = alpha
         self.min_radius = min_radius
         self.radii = radii
@@ -497,15 +1174,19 @@ class ScaleFreeGilbert(_SpatialTopology):
         min_radius: float,
         rng: np.random.Generator,
         alice_placement: str = "center",
+        sparse: Optional[bool] = None,
     ) -> "ScaleFreeGilbert":
+        """Sample positions and Pareto radii from ``rng`` and realise the graph."""
+
         positions = _sample_positions(n, rng, alice_placement)
         uniforms = rng.random(n + 1)
         radii = np.minimum(min_radius * uniforms ** (-1.0 / alpha), math.sqrt(2.0))
-        return cls(positions, radii, alpha, min_radius)
+        return cls(positions, radii, alpha, min_radius, sparse=sparse)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ScaleFreeGilbert(n={self.n}, alpha={self.alpha:g}, min_radius={self.min_radius:.4f})"
+            f"ScaleFreeGilbert(n={self.n}, alpha={self.alpha:g}, "
+            f"min_radius={self.min_radius:.4f}, backend={self.backend})"
         )
 
 
@@ -524,7 +1205,8 @@ def build_topology(
     ``random_source`` is the network's :class:`~repro.simulation.rng.RandomSource`;
     spatial topologies draw from its dedicated ``"topology"`` substream, so a
     single-hop build touches no random state at all (preserving seed-for-seed
-    compatibility with pre-topology code).
+    compatibility with pre-topology code).  The spec's ``sparse`` field is
+    forwarded to the dense/sparse backend crossover.
     """
 
     if spec is None or spec.kind == "single_hop":
@@ -532,12 +1214,19 @@ def build_topology(
     rng = random_source.stream("topology")
     if spec.kind == "gilbert":
         radius = spec.radius if spec.radius is not None else 2.0 * gilbert_connectivity_radius(n)
-        return GilbertGraph.sample(n, radius, rng, alice_placement=spec.alice_placement)
+        return GilbertGraph.sample(
+            n, radius, rng, alice_placement=spec.alice_placement, sparse=spec.sparse
+        )
     if spec.kind == "scale_free":
         min_radius = (
             spec.min_radius if spec.min_radius is not None else gilbert_connectivity_radius(n)
         )
         return ScaleFreeGilbert.sample(
-            n, spec.alpha, min_radius, rng, alice_placement=spec.alice_placement
+            n,
+            spec.alpha,
+            min_radius,
+            rng,
+            alice_placement=spec.alice_placement,
+            sparse=spec.sparse,
         )
     raise ConfigurationError(f"unknown topology kind {spec.kind!r}")  # pragma: no cover

@@ -47,18 +47,29 @@ class TestExperimentSettings:
 
     @pytest.mark.parametrize("engine", ["phase", "FAST", "", "vectorised"])
     def test_unknown_engine_rejected_at_construction(self, engine):
-        with pytest.raises(ConfigurationError, match="unknown engine"):
+        with pytest.raises(ConfigurationError, match="ExperimentSettings.engine"):
             ExperimentSettings(engine=engine)
 
     def test_unknown_engine_rejected_via_with_(self):
         settings = ExperimentSettings()
-        with pytest.raises(ConfigurationError, match="unknown engine"):
+        with pytest.raises(ConfigurationError, match="ExperimentSettings.engine"):
             settings.with_(engine="slto")
 
-    @pytest.mark.parametrize("kwargs", [{"n": 1}, {"trials": 0}])
-    def test_degenerate_settings_rejected(self, kwargs):
-        with pytest.raises(ConfigurationError):
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"n": 1}, "n"),
+            ({"n": 2.5}, "n"),
+            ({"trials": 0}, "trials"),
+            ({"seed": "2012"}, "seed"),
+        ],
+    )
+    def test_degenerate_settings_rejected(self, kwargs, field):
+        # Error messages name the offending field and echo the received value.
+        value = repr(kwargs[field])
+        with pytest.raises(ConfigurationError, match=f"ExperimentSettings.{field}") as info:
             ExperimentSettings(**kwargs)
+        assert value in str(info.value)
 
 
 class TestExperimentResult:

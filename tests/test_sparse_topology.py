@@ -1,0 +1,426 @@
+"""Sparse (CSR) topology backend: equivalence, crossover, and engine parity.
+
+The sparse backend must be invisible except for memory and speed:
+
+* the CSR neighbourhoods must expand to exactly the boolean ``reach_matrix``
+  for every topology class (the grid construction realises the identical
+  edge set as the dense all-pairs construction);
+* the dense/sparse crossover must pick the CSR backend above
+  ``SPARSE_NODE_THRESHOLD`` devices and honour explicit overrides; and
+* the vectorised engine's event-driven sparse path must be statistically
+  equivalent to the dense indicator-matrix path (same KS/moment harness the
+  fast/slot engine pair uses).
+
+All trials are seeded, so every assertion is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from equivalence import assert_means_close, assert_same_distribution, column
+
+import repro.simulation.topology as topology_module
+from repro.core.api import run_broadcast
+from repro.simulation import (
+    ALICE_ID,
+    GilbertGraph,
+    JamPlan,
+    JamTargeting,
+    Network,
+    PhaseEngine,
+    PhaseKind,
+    PhasePlan,
+    PhaseRoles,
+    RandomSource,
+    ScaleFreeGilbert,
+    SimulationConfig,
+    SingleHop,
+    TopologySpec,
+    build_topology,
+    gilbert_connectivity_radius,
+)
+from repro.simulation.errors import ConfigurationError
+from repro.simulation.fastengine import _sample_bernoulli_events
+from repro.simulation.topology import _sample_positions
+
+
+def paired_topologies(kind: str, n: int = 64, seed: int = 0, **kwargs):
+    """The same realised graph under both backends (identical positions)."""
+
+    rng = np.random.default_rng(seed)
+    pos = _sample_positions(n, rng, "center")
+    if kind == "gilbert":
+        radius = kwargs.get("radius", 0.25)
+        return (
+            GilbertGraph(pos, radius, sparse=False),
+            GilbertGraph(pos, radius, sparse=True),
+        )
+    alpha = kwargs.get("alpha", 2.0)
+    min_radius = kwargs.get("min_radius", 0.05)
+    uniforms = rng.random(n + 1)
+    radii = np.minimum(min_radius * uniforms ** (-1.0 / alpha), np.sqrt(2.0))
+    return (
+        ScaleFreeGilbert(pos, radii, alpha, min_radius, sparse=False),
+        ScaleFreeGilbert(pos, radii, alpha, min_radius, sparse=True),
+    )
+
+
+ALL_SPECS = [
+    TopologySpec.single_hop(),
+    TopologySpec.gilbert(radius=0.22),
+    TopologySpec.scale_free(alpha=2.0),
+]
+
+
+class TestCsrMatchesReachMatrix:
+    """`neighbor_csr()` expands to exactly `reach_matrix()` for every class."""
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_csr_expands_to_reach_matrix(self, spec, seed):
+        n = 48
+        topo = build_topology(spec, n, RandomSource(seed))
+        # Device order matching the Alice-last row convention.
+        devices = list(range(n)) + [ALICE_ID]
+        expected = topo.reach_matrix(devices, devices)
+        assert np.array_equal(topo.neighbor_csr().to_dense(), expected)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_per_listener_slices_match(self, spec):
+        n = 40
+        topo = build_topology(spec, n, RandomSource(3))
+        for device in [ALICE_ID, 0, 5, n - 1]:
+            ids = topo.neighbor_slice(device)
+            assert list(ids) == sorted(topo.neighbors(device))
+            row = topo.neighbor_csr().row(topo._index(device))
+            assert list(row) == sorted(row)  # sorted within each row
+            assert topo._index(device) not in row  # empty diagonal
+
+    def test_csr_is_symmetric_and_cached(self):
+        dense, sparse = paired_topologies("gilbert", n=80, seed=5)
+        csr = sparse.neighbor_csr()
+        assert csr is sparse.neighbor_csr()  # memoised
+        mat = csr.to_dense()
+        assert np.array_equal(mat, mat.T)
+        assert not mat.diagonal().any()
+        assert csr.nnz == int(mat.sum())
+
+
+class TestGridEqualsBruteForce:
+    """The grid cell index realises the identical edge set as all-pairs."""
+
+    @pytest.mark.parametrize("radius", [0.03, 0.1, 0.25, 0.6, 1.3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_gilbert(self, radius, seed):
+        dense, sparse = paired_topologies("gilbert", n=150, seed=seed, radius=radius)
+        assert dense.backend == "dense" and sparse.backend == "sparse"
+        assert np.array_equal(dense.adjacency, sparse.adjacency)
+
+    @pytest.mark.parametrize("alpha,min_radius", [(2.5, 0.04), (1.2, 0.05), (0.7, 0.02)])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_scale_free(self, alpha, min_radius, seed):
+        dense, sparse = paired_topologies(
+            "scale_free", n=150, seed=seed, alpha=alpha, min_radius=min_radius
+        )
+        assert np.array_equal(dense.adjacency, sparse.adjacency)
+
+    def test_statistics_agree_across_backends(self):
+        dense, sparse = paired_topologies("gilbert", n=200, seed=11, radius=0.08)
+        assert np.array_equal(dense.degrees(), sparse.degrees())
+        assert dense.reachable_from_alice() == sparse.reachable_from_alice()
+        assert sorted(map(sorted, dense.connected_components())) == sorted(
+            map(sorted, sparse.connected_components())
+        )
+        assert dense.largest_component_fraction() == sparse.largest_component_fraction()
+
+    def test_reach_matrix_and_can_hear_on_sparse_backend(self):
+        dense, sparse = paired_topologies("gilbert", n=60, seed=2, radius=0.2)
+        listeners = [ALICE_ID, 0, 7, 31]
+        senders = [-3, 5, 7, ALICE_ID]  # includes a synthetic Byzantine sender
+        expected = dense.reach_matrix(listeners, senders)
+        assert np.array_equal(sparse.reach_matrix(listeners, senders), expected)
+        assert np.array_equal(
+            sparse.reach_matrix_f32(listeners, senders), expected.astype(np.float32)
+        )
+        for u in listeners:
+            for v in senders:
+                assert sparse.can_hear(u, v) == dense.can_hear(u, v)
+
+    def test_reach_matrix_with_duplicate_senders(self):
+        # Regression: repeated sender ids must fill every duplicate column on
+        # the sparse backend, exactly as the dense np.ix_ slice does.
+        dense, sparse = paired_topologies("gilbert", n=60, seed=2, radius=0.2)
+        listeners = [0, 1, 2, ALICE_ID]
+        senders = [5, 5, 7, ALICE_ID, 5, -2, -2]
+        expected = dense.reach_matrix(listeners, senders)
+        assert np.array_equal(sparse.reach_matrix(listeners, senders), expected)
+        assert np.array_equal(expected[:, 0], expected[:, 1])  # duplicates agree
+
+    def test_any_neighbor_in_matches_set_intersection(self):
+        dense, sparse = paired_topologies("scale_free", n=90, seed=4)
+        members = set(range(0, 90, 7))
+        devices = list(range(0, 90, 3)) + [ALICE_ID]
+        expected = np.array(
+            [bool(dense.node_neighbors(d) & members) for d in devices], dtype=bool
+        )
+        for topo in (dense, sparse):
+            assert np.array_equal(topo.any_neighbor_in(devices, members), expected)
+        # SingleHop: every other member is a neighbour.
+        clique = SingleHop(10)
+        got = clique.any_neighbor_in([0, 1, 9], {1})
+        assert got.tolist() == [True, False, True]
+
+
+class TestCrossover:
+    """The dense/sparse crossover and its explicit overrides."""
+
+    def test_crossover_picks_sparse_above_threshold(self, monkeypatch):
+        monkeypatch.setattr(topology_module, "SPARSE_NODE_THRESHOLD", 32)
+        rng = np.random.default_rng(0)
+        small = GilbertGraph.sample(20, 0.3, rng)
+        large = GilbertGraph.sample(64, 0.3, rng)
+        assert small.backend == "dense"
+        assert large.backend == "sparse"
+        sf = ScaleFreeGilbert.sample(64, 2.0, 0.05, rng)
+        assert sf.backend == "sparse"
+
+    def test_real_threshold_value(self):
+        # The unpatched crossover sits at SPARSE_NODE_THRESHOLD devices;
+        # a build just above it must come out sparse without being forced.
+        n = topology_module.SPARSE_NODE_THRESHOLD  # devices = n + 1 > threshold
+        topo = GilbertGraph.sample(n, 0.05, np.random.default_rng(1))
+        assert topo.backend == "sparse"
+        assert topo.memory_bytes() < (n + 1) ** 2  # far below the dense bool matrix
+
+    def test_explicit_overrides_win(self):
+        rng = np.random.default_rng(3)
+        forced_sparse = GilbertGraph.sample(24, 0.3, rng, sparse=True)
+        forced_dense = GilbertGraph.sample(24, 0.3, rng, sparse=False)
+        assert forced_sparse.backend == "sparse"
+        assert forced_dense.backend == "dense"
+
+    def test_spec_sparse_field_threads_through_network(self):
+        config = SimulationConfig(
+            n=40, seed=9, topology=TopologySpec.gilbert(radius=0.3, sparse=True)
+        )
+        network = Network(config)
+        assert network.topology.backend == "sparse"
+        assert network.topology_memory_bytes() == network.topology.memory_bytes()
+        dense_net = Network(
+            SimulationConfig(n=40, seed=9, topology=TopologySpec.gilbert(radius=0.3))
+        )
+        assert dense_net.topology.backend == "dense"
+        # Same seed => identical realised graph regardless of backend.
+        assert np.array_equal(network.topology.adjacency, dense_net.topology.adjacency)
+
+    def test_spec_rejects_non_bool_sparse(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec(kind="gilbert", sparse="yes")
+
+    def test_single_hop_stores_nothing(self):
+        topo = SingleHop(50)
+        assert topo.backend == "implicit"
+        assert topo.memory_bytes() == 0
+
+
+class TestBernoulliEventSampler:
+    def test_matches_bernoulli_grid_moments(self):
+        rng = np.random.default_rng(0)
+        num, s, p = 40, 5000, 0.001
+        counts = []
+        for _ in range(30):
+            idx, slots = _sample_bernoulli_events(rng, num, s, p)
+            assert idx.size == slots.size
+            assert ((0 <= idx) & (idx < num)).all()
+            assert ((0 <= slots) & (slots < s)).all()
+            # no duplicate (device, slot) cells
+            assert np.unique(idx * s + slots).size == idx.size
+            counts.append(idx.size)
+        expected = num * s * p
+        assert abs(np.mean(counts) - expected) < 5 * np.sqrt(expected / 30)
+
+    def test_degenerate_inputs(self):
+        rng = np.random.default_rng(1)
+        for num, s, p in [(0, 10, 0.5), (10, 0, 0.5), (10, 10, 0.0)]:
+            idx, slots = _sample_bernoulli_events(rng, num, s, p)
+            assert idx.size == 0 and slots.size == 0
+        idx, slots = _sample_bernoulli_events(rng, 3, 4, 1.0)
+        assert idx.size == 12  # p = 1 fills the grid
+
+
+def paired_backend_phase_records(plan, roles_builder, jam_builder=JamPlan.idle,
+                                 n=48, trials=30, base_seed=500, spec_kwargs=None):
+    """Run one phase through the dense and sparse engine paths across seeds.
+
+    Mirrors ``equivalence.paired_phase_records`` but pairs topology *backends*
+    (same realised graph per seed) instead of engines.
+    """
+
+    records = {"dense": [], "sparse": []}
+    for trial in range(trials):
+        for backend, sparse in (("dense", False), ("sparse", True)):
+            spec = TopologySpec.gilbert(sparse=sparse, **(spec_kwargs or {"radius": 0.3}))
+            config = SimulationConfig(n=n, seed=base_seed + trial, topology=spec)
+            network = Network(config)
+            engine = PhaseEngine(network)
+            result = engine.run_phase(plan, roles_builder(network), jam_builder())
+            records[backend].append(
+                {
+                    "informed": float(len(result.newly_informed)),
+                    "alice_cost": float(network.alice_cost),
+                    "node_total": float(network.node_costs().sum()),
+                    "alice_noisy": float(result.alice_noisy_heard),
+                    "node_noisy_total": float(sum(result.node_noisy_heard.values())),
+                    "delivery_slots": float(result.delivery_slots),
+                    "busy_slots": float(result.busy_slots),
+                }
+            )
+    return records
+
+
+class TestEnginePathEquivalence:
+    """The event-driven sparse path matches the dense indicator-matrix path."""
+
+    N = 48
+
+    def _check(self, records, keys, rel=0.2):
+        for key in keys:
+            a, b = column(records["dense"], key), column(records["sparse"], key)
+            assert_same_distribution(a, b, alpha=0.01, label=key)
+            assert_means_close(a, b, rel=rel, abs_tol=2.0, label=key)
+
+    def test_inform_phase(self):
+        plan = PhasePlan(
+            name="inform", kind=PhaseKind.INFORM, round_index=5, num_slots=256,
+            alice_send_prob=0.05, uninformed_listen_prob=0.2,
+        )
+        records = paired_backend_phase_records(
+            plan, lambda net: PhaseRoles.of(range(net.n)), n=self.N
+        )
+        self._check(records, ["informed", "alice_cost", "node_total", "busy_slots"])
+
+    def test_propagation_phase_with_relays(self):
+        plan = PhasePlan(
+            name="propagation:1", kind=PhaseKind.PROPAGATION, round_index=5,
+            num_slots=256, step=1, relay_send_prob=0.02, uninformed_listen_prob=0.25,
+        )
+        records = paired_backend_phase_records(
+            plan,
+            lambda net: PhaseRoles.of(range(net.n // 2), relays=range(net.n // 2, net.n)),
+            n=self.N,
+        )
+        self._check(records, ["informed", "node_total", "delivery_slots"])
+
+    def test_request_phase_noise_counts(self):
+        plan = PhasePlan(
+            name="request", kind=PhaseKind.REQUEST, round_index=5, num_slots=256,
+            alice_listen_prob=0.3, uninformed_listen_prob=0.3, nack_send_prob=0.05,
+        )
+        records = paired_backend_phase_records(
+            plan, lambda net: PhaseRoles.of(range(net.n)), n=self.N
+        )
+        self._check(
+            records, ["alice_noisy", "node_noisy_total", "node_total", "alice_cost"]
+        )
+
+    def test_request_phase_under_targeted_jamming(self):
+        plan = PhasePlan(
+            name="request", kind=PhaseKind.REQUEST, round_index=5, num_slots=192,
+            alice_listen_prob=0.3, uninformed_listen_prob=0.3, nack_send_prob=0.04,
+        )
+        jam = lambda: JamPlan(
+            jam_rate=0.3, targeting=JamTargeting.only(range(0, self.N, 2))
+        )
+        records = paired_backend_phase_records(
+            plan, lambda net: PhaseRoles.of(range(net.n)), jam_builder=jam, n=self.N
+        )
+        self._check(records, ["alice_noisy", "node_noisy_total", "node_total"])
+
+    def test_request_phase_with_payload_senders(self):
+        # Regression: a request phase that also carries payload (never built
+        # by the protocol schedules, but legal through the engine API) must
+        # exclude clean deliveries from the noisy counts and stop counting at
+        # each listener's informed cutoff, exactly like the dense path.
+        plan = PhasePlan(
+            name="request+payload", kind=PhaseKind.REQUEST, round_index=5,
+            num_slots=256, alice_listen_prob=0.3, uninformed_listen_prob=0.3,
+            nack_send_prob=0.03, relay_send_prob=0.02,
+        )
+        records = paired_backend_phase_records(
+            plan,
+            lambda net: PhaseRoles.of(range(net.n // 2), relays=range(net.n // 2, net.n)),
+            n=self.N,
+        )
+        self._check(
+            records, ["informed", "node_noisy_total", "node_total", "alice_noisy"]
+        )
+
+    def test_inform_phase_with_spoofing_and_decoys(self):
+        plan = PhasePlan(
+            name="inform", kind=PhaseKind.INFORM, round_index=5, num_slots=192,
+            alice_send_prob=0.08, uninformed_listen_prob=0.25, decoy_send_prob=0.02,
+        )
+        jam = lambda: JamPlan(spoof_payload_slots=20, spoof_nack_slots=10)
+        records = paired_backend_phase_records(
+            plan,
+            lambda net: PhaseRoles.of(range(net.n), decoy_senders=range(net.n)),
+            jam_builder=jam,
+            n=self.N,
+        )
+        self._check(records, ["informed", "node_total", "busy_slots"])
+
+
+class TestFullRunEquivalence:
+    """Whole multi-hop executions agree across backends in distribution."""
+
+    def _outcomes(self, sparse, trials=12, **kwargs):
+        outcomes = []
+        for seed in range(trials):
+            outcomes.append(
+                run_broadcast(
+                    n=64,
+                    seed=900 + seed,
+                    variant="multihop",
+                    topology="gilbert",
+                    topology_kwargs={"radius": 0.3, "sparse": sparse},
+                    **kwargs,
+                )
+            )
+        return outcomes
+
+    def test_delivery_and_costs_match(self):
+        dense = self._outcomes(sparse=False)
+        sparse = self._outcomes(sparse=True)
+        assert_same_distribution(
+            [o.delivery.informed for o in dense],
+            [o.delivery.informed for o in sparse],
+            alpha=0.01,
+            label="informed",
+        )
+        assert_means_close(
+            [o.mean_node_cost for o in dense],
+            [o.mean_node_cost for o in sparse],
+            rel=0.3,
+            label="mean_node_cost",
+        )
+        assert_means_close(
+            [o.delivery.slots_elapsed for o in dense],
+            [o.delivery.slots_elapsed for o in sparse],
+            rel=0.3,
+            label="slots_elapsed",
+        )
+
+    def test_sparse_run_is_seed_deterministic(self):
+        a = run_broadcast(
+            n=64, seed=42, variant="multihop", topology="gilbert",
+            topology_kwargs={"radius": 0.3, "sparse": True},
+        )
+        b = run_broadcast(
+            n=64, seed=42, variant="multihop", topology="gilbert",
+            topology_kwargs={"radius": 0.3, "sparse": True},
+        )
+        assert a.delivery.informed == b.delivery.informed
+        assert a.delivery.slots_elapsed == b.delivery.slots_elapsed
+        assert a.mean_node_cost == b.mean_node_cost

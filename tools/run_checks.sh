@@ -1,28 +1,54 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full unit/property/integration suite plus a
-# quick-mode benchmark smoke over a representative experiment subset.
+# Tier-1 verification: the full unit/property/integration suite, a quick-mode
+# benchmark smoke over a representative experiment subset, and the docs
+# code-snippet smoke (README / docs quickstarts must stay runnable).
 #
 # Usage:
-#   tools/run_checks.sh            # tests + benchmark smoke
-#   tools/run_checks.sh --no-bench # tests only (fast pre-commit check)
+#   tools/run_checks.sh            # tests + benchmark smoke + docs snippets
+#   tools/run_checks.sh --no-bench # tests + docs snippets (fast pre-commit check)
+#
+# Every step runs even if an earlier one fails; the script exits non-zero if
+# ANY step failed, and lists the failures at the end — so CI cannot "pass"
+# on the strength of the first step alone.
 #
 # Environment knobs (forwarded to benchmarks/conftest.py):
 #   REPRO_BENCH_N       network size for the smoke benchmarks (default 96 here)
 #   REPRO_BENCH_TRIALS  trials per sweep point (default 1 here)
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 test suite =="
-python -m pytest -x -q
+failures=()
+
+run_step() {
+    local name="$1"
+    shift
+    echo "== ${name} =="
+    if "$@"; then
+        echo "-- ${name}: ok"
+    else
+        local status=$?
+        echo "-- ${name}: FAILED (exit ${status})" >&2
+        failures+=("${name}")
+    fi
+}
+
+run_step "tier-1 test suite" python -m pytest -x -q
 
 if [[ "${1:-}" != "--no-bench" ]]; then
-    echo "== quick-mode benchmark smoke (E2 delivery + E11 multihop) =="
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
+        run_step "quick-mode benchmark smoke (E2 delivery + E11 multihop)" \
         python -m pytest benchmarks/bench_delivery.py benchmarks/bench_multihop.py \
         --benchmark-only --benchmark-disable-gc -q
 fi
 
+run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
+
+if ((${#failures[@]})); then
+    echo
+    echo "FAILED steps: ${failures[*]}" >&2
+    exit 1
+fi
 echo "all checks passed"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Extract and execute the ``python`` code blocks of markdown documents.
+
+The doctest-style smoke behind the CI docs job: every fenced ``python``
+block in README.md / docs/*.md is executed, top to bottom, in one namespace
+per file (so later blocks may reuse earlier imports, mirroring how a reader
+would paste them into a REPL).  A crashing or asserting snippet fails the
+run, which is what keeps the quickstart from rotting.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_snippets.py README.md docs/architecture.md
+
+Blocks can opt out by tagging the fence ``python no-run`` (for illustrative
+fragments that need unavailable context).  Shell blocks (````bash````) are
+never executed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE_RE = re.compile(
+    r"^```python[ \t]*(?P<tag>no-run)?[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def extract_blocks(text: str) -> List[Tuple[bool, str]]:
+    """All fenced python blocks as ``(runnable, source)`` pairs, in order."""
+
+    return [
+        (match.group("tag") is None, match.group("body"))
+        for match in FENCE_RE.finditer(text)
+    ]
+
+
+def run_file(path: Path) -> int:
+    """Execute a document's runnable blocks; return the number executed."""
+
+    blocks = extract_blocks(path.read_text(encoding="utf-8"))
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    executed = 0
+    for index, (runnable, source) in enumerate(blocks, start=1):
+        label = f"{path}: python block {index}/{len(blocks)}"
+        if not runnable:
+            print(f"-- {label}: skipped (no-run)")
+            continue
+        start = time.perf_counter()
+        try:
+            code = compile(source, f"{path}#block{index}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:
+            print(f"FAIL {label}")
+            print("----- snippet -----")
+            print(source.rstrip())
+            print("-------------------")
+            raise
+        executed += 1
+        print(f"ok {label} ({time.perf_counter() - start:.1f}s)")
+    return executed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("documents", nargs="+", type=Path, help="markdown files to check")
+    args = parser.parse_args()
+
+    total = 0
+    for path in args.documents:
+        if not path.exists():
+            print(f"FAIL missing document: {path}")
+            return 1
+        try:
+            total += run_file(path)
+        except Exception as exc:  # noqa: BLE001 - report and fail the job
+            print(f"docs snippet failure in {path}: {type(exc).__name__}: {exc}")
+            return 1
+    print(f"all doc snippets passed ({total} executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
