@@ -13,6 +13,15 @@ from .budget import GeometricBudgetAllocator
 from .bursty import BurstyJammer
 from .composite import CompositeAdversary, RoundSwitchingAdversary
 from .continuous import ContinuousJammer
+from .mobility import (
+    MobileJammer,
+    MultiDiskJammer,
+    Orbit,
+    RandomWalk,
+    ReactiveDiskJammer,
+    Trajectory,
+    WaypointPatrol,
+)
 from .none import NullAdversary
 from .nuniform import NUniformSplitAdversary
 from .phase_blocker import PhaseBlockingAdversary
@@ -28,13 +37,20 @@ __all__ = [
     "CompositeAdversary",
     "ContinuousJammer",
     "GeometricBudgetAllocator",
+    "MobileJammer",
+    "MultiDiskJammer",
     "NullAdversary",
     "NUniformSplitAdversary",
+    "Orbit",
     "PhaseBlockingAdversary",
     "RandomJammer",
+    "RandomWalk",
+    "ReactiveDiskJammer",
     "ReactiveJammer",
     "RequestSpoofingAdversary",
     "RoundSwitchingAdversary",
     "SpatialJammer",
     "SpoofingAdversary",
+    "Trajectory",
+    "WaypointPatrol",
 ]

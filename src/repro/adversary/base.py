@@ -61,6 +61,20 @@ class Adversary(abc.ABC):
         into a victim set — override it.
         """
 
+    def observe_phase(self, context: PhaseContext) -> None:
+        """See the upcoming phase before committing a plan.
+
+        Called exactly once per phase by every orchestrator, *before*
+        :meth:`plan_phase`.  This is the re-resolution hook for strategies
+        whose victim set is a function of time: mobile disk jammers advance
+        their trajectory and re-resolve victims here, and adaptive strategies
+        may inspect the context's roles.  Unlike :meth:`plan_phase` — which
+        combining strategies only forward to the sub-strategy they select —
+        the hook is forwarded to *every* nested strategy every phase, so an
+        unselected jammer keeps moving while it idles.  The default is a
+        no-op.
+        """
+
     def plan_phase(self, context: PhaseContext) -> JamPlan:
         """Return the attack plan for the upcoming phase.
 

@@ -39,6 +39,12 @@ class CompositeAdversary(Adversary):
         for strategy in self.strategies:
             strategy.bind_network(network)
 
+    def observe_phase(self, context: PhaseContext) -> None:
+        # Every sub-strategy sees every phase — a mobile jammer keeps moving
+        # (and re-resolving victims) even while another strategy's plan wins.
+        for strategy in self.strategies:
+            strategy.observe_phase(context)
+
     def _plan(self, context: PhaseContext, allowance: float) -> JamPlan:
         for strategy in self.strategies:
             plan = strategy.plan_phase(
@@ -78,6 +84,12 @@ class RoundSwitchingAdversary(Adversary):
     def bind_network(self, network) -> None:
         self.early.bind_network(network)
         self.late.bind_network(network)
+
+    def observe_phase(self, context: PhaseContext) -> None:
+        # Both halves track time so the late strategy starts from the right
+        # trajectory/victim state at the switch round.
+        self.early.observe_phase(context)
+        self.late.observe_phase(context)
 
     def _active(self, context: PhaseContext) -> Adversary:
         return self.early if context.plan.round_index < self.switch_round else self.late

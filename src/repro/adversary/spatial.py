@@ -29,7 +29,40 @@ from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
 
-__all__ = ["SpatialJammer"]
+__all__ = ["SpatialJammer", "plan_disk_jam"]
+
+
+def plan_disk_jam(
+    context: PhaseContext,
+    victims: FrozenSet[int],
+    jam_request_phases: bool = False,
+) -> JamPlan:
+    """The shared "jam payload slots for a victim set" planning rule.
+
+    Used by :class:`SpatialJammer` and every mobile variant in
+    :mod:`repro.adversary.mobility`: jam all slots of payload-carrying phases
+    (optionally request phases too), targeted at ``victims``, and idle
+    whenever no *active* victim would perceive the noise — jamming outside
+    the victims' earshot is wasted energy.  Payload phases matter only to the
+    disk's uninformed listeners; Alice (who listens in request phases alone)
+    only when this is one.
+    """
+
+    if not victims:
+        return JamPlan.idle()
+    if context.plan.kind is PhaseKind.REQUEST and not jam_request_phases:
+        return JamPlan.idle()
+    if not context.plan.carries_payload and context.plan.kind is not PhaseKind.REQUEST:
+        return JamPlan.idle()
+    active_victims = victims & context.roles.active_uninformed
+    if context.plan.kind is PhaseKind.REQUEST:
+        active_victims |= victims & {ALICE_ID}
+    if not active_victims:
+        return JamPlan.idle()
+    return JamPlan(
+        num_jam_slots=context.plan.num_slots,
+        targeting=JamTargeting.only(victims),
+    )
 
 
 class SpatialJammer(Adversary):
@@ -85,6 +118,17 @@ class SpatialJammer(Adversary):
 
         return self._victims if self._victims is not None else frozenset()
 
+    @property
+    def coverage(self) -> FrozenSet[int]:
+        """Every device id this jammer has ever targeted.
+
+        For the static disk this equals :attr:`victims`; mobile strategies
+        accumulate the union over phases.  Experiments use it to measure
+        delivery restricted to the attacked population.
+        """
+
+        return self.victims
+
     # ------------------------------------------------------------------ #
     # Strategy                                                            #
     # ------------------------------------------------------------------ #
@@ -95,21 +139,4 @@ class SpatialJammer(Adversary):
                 "SpatialJammer used without bind_network(); the orchestrator must "
                 "bind the adversary to the realised topology first"
             )
-        if not self._victims:
-            return JamPlan.idle()
-        if context.plan.kind is PhaseKind.REQUEST and not self.jam_request_phases:
-            return JamPlan.idle()
-        if not context.plan.carries_payload and context.plan.kind is not PhaseKind.REQUEST:
-            return JamPlan.idle()
-        # Jamming outside the victims' earshot is wasted energy: payload
-        # phases matter only to the disk's uninformed listeners, and Alice
-        # (who listens in request phases alone) only when this is one.
-        active_victims = self._victims & context.roles.active_uninformed
-        if context.plan.kind is PhaseKind.REQUEST:
-            active_victims |= self._victims & {ALICE_ID}
-        if not active_victims:
-            return JamPlan.idle()
-        return JamPlan(
-            num_jam_slots=context.plan.num_slots,
-            targeting=JamTargeting.only(self._victims),
-        )
+        return plan_disk_jam(context, self._victims, self.jam_request_phases)

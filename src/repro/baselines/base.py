@@ -140,6 +140,9 @@ class EpochBaseline(abc.ABC):
                 history=log.phases,
                 adversary_remaining_budget=self.network.adversary_ledger.remaining,
             )
+            # Same per-phase re-resolution hook as the ε-Broadcast family:
+            # mobile strategies track time against baselines too.
+            self.adversary.observe_phase(context)
             jam_plan = self.adversary.plan_phase(context)
 
             alice_before = self.network.alice_cost
@@ -179,6 +182,7 @@ class EpochBaseline(abc.ABC):
         # The oracle stops Alice the moment the last node is informed.
         state.terminate_alice(min(self.max_epoch, log.phases[-1].round_index if log.phases else 0))
         state.terminate_uninformed(state.active_uninformed(), self.max_epoch)
+        self.final_state = state
 
         delivery = DeliveryStats(
             n=self.config.n,

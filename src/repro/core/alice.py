@@ -116,12 +116,20 @@ class AlicePolicy:
         return max_round
 
     def earliest_termination_round(self) -> int:
-        """The first round in which Alice's termination test may fire."""
+        """The first round in which Alice's termination test may fire.
 
-        return max(
-            self.params.resolved_min_termination_round(self.n),
-            self.min_reliable_termination_round(),
-        )
+        Memoised like the receiver-side twin: a pure function of the
+        immutable policy parameters, consulted once per request phase.
+        """
+
+        cached = getattr(self, "_earliest_termination_round", None)
+        if cached is None:
+            cached = max(
+                self.params.resolved_min_termination_round(self.n),
+                self.min_reliable_termination_round(),
+            )
+            self._earliest_termination_round = cached
+        return cached
 
     def should_terminate(self, noisy_slots_heard: int, round_index: int) -> bool:
         """Alice's termination test for the end of a request phase."""

@@ -20,10 +20,14 @@ from ..adversary import (
     Adversary,
     BurstyJammer,
     ContinuousJammer,
+    MobileJammer,
+    MultiDiskJammer,
     NullAdversary,
     NUniformSplitAdversary,
+    Orbit,
     PhaseBlockingAdversary,
     RandomJammer,
+    ReactiveDiskJammer,
     ReactiveJammer,
     RequestSpoofingAdversary,
     SpatialJammer,
@@ -53,6 +57,9 @@ ADVERSARY_CATALOGUE: Dict[str, Type[Adversary]] = {
     "reactive": ReactiveJammer,
     "spoofing": SpoofingAdversary,
     "spatial": SpatialJammer,
+    "mobile": MobileJammer,
+    "multi_disk": MultiDiskJammer,
+    "reactive_disk": ReactiveDiskJammer,
 }
 """Adversary strategies addressable by name."""
 
@@ -87,6 +94,10 @@ def make_adversary(name: str, **kwargs: object) -> Adversary:
         kwargs.setdefault("period", 64)
     elif cls is NUniformSplitAdversary:
         kwargs.setdefault("target_uninformed", 0)
+    elif cls is MobileJammer:
+        kwargs.setdefault("trajectory", Orbit())
+    elif cls is MultiDiskJammer:
+        kwargs.setdefault("centers", [(0.25, 0.25), (0.75, 0.75)])
     return cls(**kwargs)  # type: ignore[arg-type]
 
 

@@ -166,6 +166,10 @@ class EpsilonBroadcast:
             terminated_by_cap = True
             self._finalize_at_cap(state, max_round)
 
+        # Keep the per-node end state inspectable: experiments that partition
+        # delivery by population (e.g. a spatial jammer's victims) need node
+        # identities, which the aggregate outcome deliberately drops.
+        self.final_state = state
         return self._build_outcome(state, clock, log, terminated_by_cap)
 
     # ------------------------------------------------------------------ #
@@ -206,6 +210,9 @@ class EpsilonBroadcast:
             history=log.phases,
             adversary_remaining_budget=self.network.adversary_ledger.remaining,
         )
+        # Per-phase re-resolution hook: mobile/adaptive spatial strategies
+        # advance their trajectory and re-resolve victims before planning.
+        self.adversary.observe_phase(context)
         jam_plan = self.adversary.plan_phase(context)
 
         alice_before = self.network.alice_cost
@@ -350,9 +357,36 @@ class MultiHopBroadcast(EpsilonBroadcast):
     protocol (a clique relay retires after one step because every neighbour
     is informed), and this class defers to :class:`EpsilonBroadcast` outright
     to keep outcomes bit-identical.
+
+    Parameters
+    ----------
+    max_quiet_retries:
+        Retry cap on the request-phase quiet rule.  The rule was calibrated
+        for one shared channel — a node stops once a request phase sounds
+        quiet — and misfires on sparse topologies: in Alice-less multi-node
+        components nodes keep hearing each other's nacks, never see a quiet
+        phase, and (because the rule is not even consulted before the
+        earliest reliable termination round, near the round cap) run to the
+        cap, overspending their budgets by orders of magnitude (the
+        sub-threshold ``mean_node_cost`` blowup of E11).  With a cap, an
+        uninformed node that has gone through this many request phases
+        without receiving the message gives up regardless of what it heard.
+        Every active uninformed node participates in every request phase, so
+        the cap is applied uniformly.  The default ``None`` keeps the
+        paper's rule exactly (bit-identical outcomes), and single-hop runs
+        never consult it.
     """
 
     protocol_name = "multihop-epsilon-broadcast"
+
+    def __init__(self, *args, max_quiet_retries: Optional[int] = None, **kwargs) -> None:
+        if max_quiet_retries is not None and max_quiet_retries < 1:
+            raise ConfigurationError(
+                f"max_quiet_retries must be a positive integer or None, got {max_quiet_retries}"
+            )
+        self.max_quiet_retries = max_quiet_retries
+        self._quiet_rule_evaluations = 0
+        super().__init__(*args, **kwargs)
 
     def _apply_result(
         self,
@@ -378,6 +412,7 @@ class MultiHopBroadcast(EpsilonBroadcast):
                 self.receiver_policy,
                 round_index,
             )
+            self._apply_quiet_retry_cap(state, round_index)
 
         if plan.kind in (PhaseKind.PROPAGATION, PhaseKind.REQUEST):
             # Multi-hop relay retirement: a relay stays active while it still
@@ -385,6 +420,26 @@ class MultiHopBroadcast(EpsilonBroadcast):
             # retire relays too — their last neighbours may just have given
             # up).
             self._retire_satisfied_relays(state, round_index)
+
+    def _apply_quiet_retry_cap(self, state: ProtocolState, round_index: int) -> None:
+        """Give up after ``max_quiet_retries`` request phases without the message.
+
+        Each round has exactly one request phase and every active uninformed
+        node takes part in it, so one run-level counter *is* the per-node
+        retry count.  Once it reaches the cap, every still-active uninformed
+        node terminates, exactly as if its channel had finally gone quiet —
+        which is what stops Alice-less components (whose channels never go
+        quiet) well short of the round cap.
+        """
+
+        if self.max_quiet_retries is None:
+            return
+        self._quiet_rule_evaluations += 1
+        if self._quiet_rule_evaluations < self.max_quiet_retries:
+            return
+        lingering = state.active_uninformed()
+        if lingering:
+            state.terminate_uninformed(lingering, round_index)
 
     def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
         topology = self.network.topology

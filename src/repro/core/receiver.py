@@ -129,9 +129,18 @@ class ReceiverPolicy:
         return clip_probability(raw)
 
     def termination_threshold(self) -> float:
-        """A node terminates when it hears at most this many noisy slots."""
+        """A node terminates when it hears at most this many noisy slots.
 
-        return self.params.termination_threshold(self.n)
+        Memoised (pure function of the immutable parameters): the per-node
+        termination test consults it for every active node in every request
+        phase.
+        """
+
+        cached = getattr(self, "_termination_threshold", None)
+        if cached is None:
+            cached = self.params.termination_threshold(self.n)
+            self._termination_threshold = cached
+        return cached
 
     def request_phase_length(self, round_index: int) -> int:
         """Length of the request phase under the pseudocode in use."""
@@ -163,12 +172,22 @@ class ReceiverPolicy:
         return max_round
 
     def earliest_termination_round(self) -> int:
-        """The first round in which a node's termination test may fire."""
+        """The first round in which a node's termination test may fire.
 
-        return max(
-            self.params.resolved_min_termination_round(self.n),
-            self.min_reliable_termination_round(),
-        )
+        Memoised: the value is a pure function of the (immutable) policy
+        parameters, and :meth:`should_terminate` consults it once per active
+        node per request phase — recomputing the round scan n times per phase
+        dominated large-n request phases before the cache.
+        """
+
+        cached = getattr(self, "_earliest_termination_round", None)
+        if cached is None:
+            cached = max(
+                self.params.resolved_min_termination_round(self.n),
+                self.min_reliable_termination_round(),
+            )
+            self._earliest_termination_round = cached
+        return cached
 
     def should_terminate(self, noisy_slots_heard: int, round_index: int) -> bool:
         """The uninformed node's termination test at the end of a request phase."""

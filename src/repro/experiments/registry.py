@@ -1,6 +1,6 @@
 """Experiment registry.
 
-Maps experiment ids (E1 … E11) to their runner functions so the benchmark
+Maps experiment ids (E1 … E12) to their runner functions so the benchmark
 harness, the examples, and EXPERIMENTS.md generation can iterate over every
 reproduced claim uniformly.
 """
@@ -18,6 +18,7 @@ from . import (
     exp_general_k,
     exp_latency,
     exp_load_balance,
+    exp_mobile_jammer,
     exp_multihop,
     exp_reactive,
     exp_size_estimate,
@@ -50,6 +51,7 @@ _MODULES = [
     exp_adversary_ablation,
     exp_spoofing,
     exp_multihop,
+    exp_mobile_jammer,
 ]
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

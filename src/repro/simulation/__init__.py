@@ -11,7 +11,7 @@ from .auth import ALICE_ID, Authenticator
 from .channel import Channel, JamMode, JamTargeting, SlotResolution
 from .clock import PhaseWindow, SlotClock
 from .config import SimulationConfig
-from .energy import BudgetPolicy, EnergyLedger, EnergyOperation
+from .energy import BudgetPolicy, EnergyLedger, EnergyOperation, LedgerArray, LedgerView
 from .engine import SlotEngine
 from .errors import (
     AuthenticationError,
@@ -69,6 +69,8 @@ __all__ = [
     "Device",
     "EnergyLedger",
     "EnergyOperation",
+    "LedgerArray",
+    "LedgerView",
     "EventLog",
     "GilbertGraph",
     "NeighborCSR",

@@ -6,6 +6,16 @@ altering a message each cost one unit, while sleeping is free.  The
 optionally *enforce* the budget (used for Carol, whose jamming must stop when
 her budget is exhausted) or merely *record* it (used for correct devices, whose
 budget sufficiency is a theorem we check rather than a constraint we impose).
+
+For the ``n`` correct nodes — a homogeneous population charged in bulk every
+phase by the vectorised engine — per-device ``EnergyLedger`` objects are a
+large-``n`` bottleneck: ~``n`` Python-level ``charge_bulk`` calls per phase.
+:class:`LedgerArray` therefore keeps the whole population's accounting in
+numpy arrays and charges any subset in one vector operation
+(:meth:`LedgerArray.charge_bulk_many`); :meth:`LedgerArray.view` hands out
+per-device :class:`LedgerView` objects that satisfy the full
+:class:`EnergyLedger` interface, so everything that inspects or charges one
+node at a time (the slot engine, metrics, tests) is unaffected by the layout.
 """
 
 from __future__ import annotations
@@ -15,9 +25,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from .errors import BudgetExceededError, ConfigurationError
 
-__all__ = ["EnergyOperation", "EnergyLedger", "BudgetPolicy"]
+__all__ = ["EnergyOperation", "EnergyLedger", "BudgetPolicy", "LedgerArray", "LedgerView"]
 
 
 class EnergyOperation(enum.Enum):
@@ -164,3 +176,213 @@ class EnergyLedger:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EnergyLedger(owner={self.owner!r}, spent={self._spent:g}, budget={self.budget:g})"
+
+
+class LedgerArray:
+    """Array-backed energy accounting for a homogeneous device population.
+
+    One shared ``budget``/``policy`` pair and one numpy row per device.  The
+    vectorised engine charges whole phase cohorts through
+    :meth:`charge_bulk_many`; per-device access goes through :meth:`view`,
+    which behaves exactly like an :class:`EnergyLedger` for that row.
+
+    Parameters
+    ----------
+    owner_prefix:
+        Label stem for per-device owners (device ``i`` is ``"{prefix}:{i}"``).
+    count:
+        Number of devices in the population.
+    budget:
+        The shared per-device energy budget.
+    policy:
+        The shared :class:`BudgetPolicy` (correct nodes use ``RECORD``).
+    """
+
+    def __init__(
+        self,
+        owner_prefix: str,
+        count: int,
+        budget: float,
+        policy: BudgetPolicy = BudgetPolicy.RECORD,
+    ) -> None:
+        if count < 0:
+            raise ConfigurationError(f"ledger array count must be non-negative, got {count}")
+        if budget < 0:
+            raise ConfigurationError(
+                f"budget for {owner_prefix!r} must be non-negative, got {budget}"
+            )
+        self.owner_prefix = owner_prefix
+        self.count = count
+        self.budget = float(budget)
+        self.policy = policy
+        self._spent = np.zeros(count, dtype=float)
+        self._by_operation: Dict[EnergyOperation, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Bulk interface (the vectorised engine's hot path)                   #
+    # ------------------------------------------------------------------ #
+
+    def charge_bulk_many(
+        self, operation: EnergyOperation, indices, units
+    ) -> np.ndarray:
+        """Charge ``units[i]`` of ``operation`` to device ``indices[i]``, vectorised.
+
+        The array analogue of calling :meth:`EnergyLedger.charge_bulk` once
+        per device: under ``CAP`` each device's charge is clipped to its own
+        remaining budget, under ``ENFORCE`` any overdraft raises, and under
+        ``RECORD`` (the correct-node policy) the whole call is two fancy-index
+        operations.  ``indices`` must not contain duplicates (phase cohorts
+        never do).  Returns the per-device units actually charged.
+        """
+
+        indices = np.asarray(indices, dtype=np.int64)
+        units = np.asarray(units, dtype=float)
+        if units.shape != indices.shape:
+            raise ConfigurationError(
+                f"charge_bulk_many needs one unit amount per index: "
+                f"{indices.shape} indices vs {units.shape} units"
+            )
+        if indices.size == 0:
+            return units.copy()
+        if np.any(units < 0):
+            raise ConfigurationError(
+                f"cannot charge negative energy to {self.owner_prefix!r}"
+            )
+        if self.policy is not BudgetPolicy.RECORD and not math.isinf(self.budget):
+            overdraft = self._spent[indices] + units > self.budget + 1e-9
+            if self.policy is BudgetPolicy.ENFORCE and overdraft.any():
+                first = int(indices[np.argmax(overdraft)])
+                raise BudgetExceededError(
+                    f"{self.owner_prefix}:{first}",
+                    self.budget,
+                    float(self._spent[first] + units[np.argmax(overdraft)]),
+                )
+            if self.policy is BudgetPolicy.CAP:
+                units = np.minimum(units, np.maximum(self.budget - self._spent[indices], 0.0))
+        self._spent[indices] += units
+        per_op = self._by_operation.get(operation)
+        if per_op is None:
+            per_op = self._by_operation.setdefault(operation, np.zeros(self.count, dtype=float))
+        per_op[indices] += units
+        return units
+
+    def spent_array(self) -> np.ndarray:
+        """Copy of per-device total expenditure, indexed by device row."""
+
+        return self._spent.copy()
+
+    def overdraft_array(self) -> np.ndarray:
+        """Per-device overdraft (zeros when every budget held)."""
+
+        return np.maximum(self._spent - self.budget, 0.0)
+
+    def view(self, index: int) -> "LedgerView":
+        """An :class:`EnergyLedger`-compatible handle on one device's row."""
+
+        if not (0 <= index < self.count):
+            raise ConfigurationError(
+                f"ledger array {self.owner_prefix!r} has {self.count} rows, asked for {index}"
+            )
+        return LedgerView(self, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LedgerArray(owner_prefix={self.owner_prefix!r}, count={self.count}, "
+            f"budget={self.budget:g})"
+        )
+
+
+class LedgerView:
+    """One device's slice of a :class:`LedgerArray`.
+
+    Implements the :class:`EnergyLedger` interface (``spent``, ``charge``,
+    ``charge_bulk``, ``snapshot``, ...) against the shared arrays, so code
+    that charges or inspects a single device — the slot engine, metrics,
+    tests — cannot tell the two layouts apart.
+    """
+
+    __slots__ = ("_array", "_index", "owner")
+
+    def __init__(self, array: LedgerArray, index: int) -> None:
+        self._array = array
+        self._index = index
+        self.owner = f"{array.owner_prefix}:{index}"
+
+    @property
+    def budget(self) -> float:
+        return self._array.budget
+
+    @property
+    def policy(self) -> BudgetPolicy:
+        return self._array.policy
+
+    @property
+    def spent(self) -> float:
+        return float(self._array._spent[self._index])
+
+    @property
+    def remaining(self) -> float:
+        return max(self.budget - self.spent, 0.0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining < 1.0 and not math.isinf(self.budget)
+
+    @property
+    def overdraft(self) -> float:
+        return max(self.spent - self.budget, 0.0)
+
+    def spent_on(self, operation: EnergyOperation) -> float:
+        per_op = self._array._by_operation.get(operation)
+        return float(per_op[self._index]) if per_op is not None else 0.0
+
+    def can_afford(self, units: float = 1.0) -> bool:
+        if math.isinf(self.budget):
+            return True
+        return self.spent + units <= self.budget + 1e-9
+
+    def charge(self, operation: EnergyOperation, units: float = 1.0) -> bool:
+        if units < 0:
+            raise ConfigurationError(f"cannot charge negative energy ({units}) to {self.owner!r}")
+        if units == 0:
+            return True
+        if not self.can_afford(units):
+            if self.policy is BudgetPolicy.ENFORCE:
+                raise BudgetExceededError(self.owner, self.budget, self.spent + units)
+            if self.policy is BudgetPolicy.CAP:
+                return False
+        self._apply(operation, units)
+        return True
+
+    def charge_bulk(self, operation: EnergyOperation, units: float) -> float:
+        if units < 0:
+            raise ConfigurationError(f"cannot charge negative energy ({units}) to {self.owner!r}")
+        if units == 0:
+            return 0.0
+        if not self.can_afford(units):
+            if self.policy is BudgetPolicy.ENFORCE:
+                raise BudgetExceededError(self.owner, self.budget, self.spent + units)
+            if self.policy is BudgetPolicy.CAP:
+                units = self.remaining
+                if units <= 0:
+                    return 0.0
+        self._apply(operation, units)
+        return units
+
+    def _apply(self, operation: EnergyOperation, units: float) -> None:
+        self._array._spent[self._index] += units
+        per_op = self._array._by_operation.get(operation)
+        if per_op is None:
+            per_op = self._array._by_operation.setdefault(
+                operation, np.zeros(self._array.count, dtype=float)
+            )
+        per_op[self._index] += units
+
+    def snapshot(self) -> Dict[str, float]:
+        summary = {"spent": self.spent, "budget": self.budget, "overdraft": self.overdraft}
+        for operation in EnergyOperation:
+            summary[operation.value] = self.spent_on(operation)
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LedgerView(owner={self.owner!r}, spent={self.spent:g}, budget={self.budget:g})"

@@ -279,31 +279,23 @@ class PhaseEngine:
                 else np.zeros(uninformed.size, dtype=np.int64)
             )
 
-            for idx, node_id in enumerate(uninformed):
-                total = float(listen_cost[idx])
-                ledger = network.nodes[int(node_id)].ledger
-                if total:
-                    ledger.charge_bulk(EnergyOperation.LISTEN, total)
-                if nack_cost[idx]:
-                    ledger.charge_bulk(EnergyOperation.SEND, float(nack_cost[idx]))
-                if plan.kind is PhaseKind.REQUEST:
-                    node_noisy[int(node_id)] = int(heard[idx])
+            # One vector charge per operation over the whole cohort: the
+            # array-backed ledger replaces the former ~n-per-phase Python
+            # loop of per-node charge_bulk calls.
+            network.node_ledgers.charge_bulk_many(EnergyOperation.LISTEN, uninformed, listen_cost)
+            network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, uninformed, nack_cost)
+            if plan.kind is PhaseKind.REQUEST:
+                node_noisy = {
+                    int(node_id): int(heard[idx]) for idx, node_id in enumerate(uninformed)
+                }
 
         if relays.size and plan.relay_send_prob > 0:
             relay_cost = rng.binomial(s, plan.relay_send_prob, size=relays.size)
-            for idx, node_id in enumerate(relays):
-                if relay_cost[idx]:
-                    network.nodes[int(node_id)].ledger.charge_bulk(
-                        EnergyOperation.SEND, float(relay_cost[idx])
-                    )
+            network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, relays, relay_cost)
 
         if decoys.size and plan.decoy_send_prob > 0:
             decoy_cost = rng.binomial(s, plan.decoy_send_prob, size=decoys.size)
-            for idx, node_id in enumerate(decoys):
-                if decoy_cost[idx]:
-                    network.nodes[int(node_id)].ledger.charge_bulk(
-                        EnergyOperation.SEND, float(decoy_cost[idx])
-                    )
+            network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, decoys, decoy_cost)
 
         return PhaseResult(
             plan=plan,
@@ -465,15 +457,12 @@ class PhaseEngine:
             listen_cost = (listen_mask & active).sum(axis=1)
             nack_cost = (nack_sends & active).sum(axis=1)
 
-            for idx in range(num_u):
-                node_id = int(uninformed[idx])
-                ledger = network.nodes[node_id].ledger
-                if listen_cost[idx]:
-                    ledger.charge_bulk(EnergyOperation.LISTEN, float(listen_cost[idx]))
-                if nack_cost[idx]:
-                    ledger.charge_bulk(EnergyOperation.SEND, float(nack_cost[idx]))
-                if plan.kind is PhaseKind.REQUEST:
-                    node_noisy[node_id] = int(heard_noisy[idx])
+            network.node_ledgers.charge_bulk_many(EnergyOperation.LISTEN, uninformed, listen_cost)
+            network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, uninformed, nack_cost)
+            if plan.kind is PhaseKind.REQUEST:
+                node_noisy = {
+                    int(uninformed[idx]): int(heard_noisy[idx]) for idx in range(num_u)
+                }
 
         # ------------------------------------------------------------------ #
         # 4. Alice                                                            #
@@ -513,19 +502,13 @@ class PhaseEngine:
         # 5. Relay and decoy send costs (exact row sums)                      #
         # ------------------------------------------------------------------ #
         if num_r:
-            relay_cost = relay_sends.sum(axis=1)
-            for idx, node_id in enumerate(relays):
-                if relay_cost[idx]:
-                    network.nodes[int(node_id)].ledger.charge_bulk(
-                        EnergyOperation.SEND, float(relay_cost[idx])
-                    )
+            network.node_ledgers.charge_bulk_many(
+                EnergyOperation.SEND, relays, relay_sends.sum(axis=1)
+            )
         if num_d:
-            decoy_cost = decoy_sends.sum(axis=1)
-            for idx, node_id in enumerate(decoys):
-                if decoy_cost[idx]:
-                    network.nodes[int(node_id)].ledger.charge_bulk(
-                        EnergyOperation.SEND, float(decoy_cost[idx])
-                    )
+            network.node_ledgers.charge_bulk_many(
+                EnergyOperation.SEND, decoys, decoy_sends.sum(axis=1)
+            )
 
         return PhaseResult(
             plan=plan,
@@ -779,12 +762,8 @@ class PhaseEngine:
                     int(uninformed[i]): int(heard_noisy[i]) for i in range(num_u)
                 }
 
-            for idx in np.flatnonzero((listen_cost > 0) | (nack_cost > 0)):
-                ledger = network.nodes[int(uninformed[idx])].ledger
-                if listen_cost[idx]:
-                    ledger.charge_bulk(EnergyOperation.LISTEN, float(listen_cost[idx]))
-                if nack_cost[idx]:
-                    ledger.charge_bulk(EnergyOperation.SEND, float(nack_cost[idx]))
+            network.node_ledgers.charge_bulk_many(EnergyOperation.LISTEN, uninformed, listen_cost)
+            network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, uninformed, nack_cost)
 
         # ------------------------------------------------------------------ #
         # 6. Alice                                                           #
@@ -814,17 +793,13 @@ class PhaseEngine:
         # 7. Relay and decoy send costs (exact event counts)                 #
         # ------------------------------------------------------------------ #
         if relay_idx.size:
-            relay_cost = np.bincount(relay_idx, minlength=num_r)
-            for idx in np.flatnonzero(relay_cost):
-                network.nodes[int(relays[idx])].ledger.charge_bulk(
-                    EnergyOperation.SEND, float(relay_cost[idx])
-                )
+            network.node_ledgers.charge_bulk_many(
+                EnergyOperation.SEND, relays, np.bincount(relay_idx, minlength=num_r)
+            )
         if decoy_idx.size:
-            decoy_cost = np.bincount(decoy_idx, minlength=num_d)
-            for idx in np.flatnonzero(decoy_cost):
-                network.nodes[int(decoys[idx])].ledger.charge_bulk(
-                    EnergyOperation.SEND, float(decoy_cost[idx])
-                )
+            network.node_ledgers.charge_bulk_many(
+                EnergyOperation.SEND, decoys, np.bincount(decoy_idx, minlength=num_d)
+            )
 
         return PhaseResult(
             plan=plan,
@@ -939,14 +914,12 @@ class PhaseEngine:
 
     @staticmethod
     def _victim_mask(node_ids: np.ndarray, jam_plan: JamPlan) -> np.ndarray:
-        """Boolean mask of which nodes are affected by the plan's jamming."""
+        """Boolean mask of which nodes are affected by the plan's jamming.
 
-        targeting = jam_plan.targeting
-        if targeting.mode is JamMode.NONE:
-            return np.zeros(node_ids.size, dtype=bool)
-        if targeting.mode is JamMode.ALL:
-            return np.ones(node_ids.size, dtype=bool)
-        membership = np.array([int(node) in targeting.nodes for node in node_ids], dtype=bool)
-        if targeting.mode is JamMode.ONLY:
-            return membership
-        return ~membership
+        Recomputed every phase from the plan's (possibly freshly re-targeted)
+        :class:`~repro.simulation.channel.JamTargeting` — mobile and reactive
+        disk jammers change victims per phase, so nothing here may be cached
+        per run — via the targeting's vectorised membership test.
+        """
+
+        return jam_plan.targeting.affects_array(node_ids)

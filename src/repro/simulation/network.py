@@ -15,7 +15,7 @@ import numpy as np
 from .auth import ALICE_ID, Authenticator
 from .channel import Channel
 from .config import SimulationConfig
-from .energy import BudgetPolicy, EnergyLedger
+from .energy import BudgetPolicy, EnergyLedger, LedgerArray
 from .errors import ConfigurationError
 from .node import Device, Role
 from .rng import RandomSource
@@ -70,8 +70,16 @@ class Network:
         self.message_signature = self.authenticator.sign(self.message_payload)
 
         self.alice = Device.alice(budget=config.alice_budget)
+        # The n correct nodes are a homogeneous population charged in bulk by
+        # the vectorised engine every phase: their accounting lives in one
+        # array-backed ledger, and each Device holds a per-row view that
+        # satisfies the full EnergyLedger interface.
+        self.node_ledgers = LedgerArray(
+            "node", config.n, config.node_budget, policy=BudgetPolicy.RECORD
+        )
         self.nodes: List[Device] = [
-            Device.correct(device_id=i, budget=config.node_budget) for i in range(config.n)
+            Device(device_id=i, role=Role.CORRECT, ledger=self.node_ledgers.view(i))
+            for i in range(config.n)
         ]
         adversary_policy = BudgetPolicy.CAP if enforce_adversary_budget else BudgetPolicy.RECORD
         self.adversary_ledger = EnergyLedger(
@@ -130,12 +138,12 @@ class Network:
     def node_costs(self) -> np.ndarray:
         """Vector of per-node energy expenditure (index = node id)."""
 
-        return np.array([node.ledger.spent for node in self.nodes], dtype=float)
+        return self.node_ledgers.spent_array()
 
     def max_node_cost(self) -> float:
         if not self.nodes:
             return 0.0
-        return float(max(node.ledger.spent for node in self.nodes))
+        return float(self.node_ledgers.spent_array().max())
 
     def mean_node_cost(self) -> float:
         if not self.nodes:
@@ -165,9 +173,9 @@ class Network:
         overruns: Dict[str, float] = {}
         if self.alice.ledger.overdraft > 0:
             overruns["alice"] = self.alice.ledger.overdraft
-        for node in self.nodes:
-            if node.ledger.overdraft > 0:
-                overruns[node.label] = node.ledger.overdraft
+        node_overdrafts = self.node_ledgers.overdraft_array()
+        for node_id in np.flatnonzero(node_overdrafts > 0):
+            overruns[self.nodes[int(node_id)].label] = float(node_overdrafts[node_id])
         if self.adversary_ledger.overdraft > 0:
             overruns["carol"] = self.adversary_ledger.overdraft
         return overruns

@@ -263,6 +263,14 @@ class PhaseResult:
 class AdversaryStrategy(Protocol):
     """Structural interface every adversary implementation satisfies."""
 
+    def observe_phase(self, context: PhaseContext) -> None:
+        """See the upcoming phase before planning.
+
+        Orchestrators call this exactly once per phase, before
+        :meth:`plan_phase`; strategies whose victim set is a function of time
+        (mobile/adaptive disk jammers) re-resolve their targets here.
+        """
+
     def plan_phase(self, context: PhaseContext) -> JamPlan:
         """Commit to an attack plan for the upcoming phase."""
 

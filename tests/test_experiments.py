@@ -135,7 +135,7 @@ class TestWorkloads:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 12)]
+        assert experiment_ids() == [f"E{i}" for i in range(1, 13)]
         for spec in EXPERIMENTS.values():
             assert spec.title and spec.claim
 
@@ -158,6 +158,27 @@ class TestRegistry:
         assert result.experiment_id == "E10"
         assert len(result.rows) >= 3
         assert all(row["delivery_fraction"] == pytest.approx(1.0) for row in result.rows)
+
+    def test_mobile_jammer_experiment_runs_end_to_end(self):
+        settings = ExperimentSettings(n=128, trials=2, quick=True, seed=3)
+        result = run_experiment("E12", settings)
+        assert result.experiment_id == "E12"
+        rows = {row["scenario"]: row for row in result.rows}
+        assert {"static disk", "patrol", "orbit", "random walk",
+                "multi-disk k=3", "reactive disk"} == set(rows)
+        # Every scenario spends the same cap (equal-budget comparison).
+        spends = {round(row["carol_spend"], 6) for row in result.rows}
+        assert len(spends) == 1
+        # The E12 acceptance ordering: the adaptive disk drives the network's
+        # delivery per unit budget strictly below the static disk's, and
+        # strands more of its victims per unit budget.
+        static, reactive = rows["static disk"], rows["reactive disk"]
+        assert reactive["delivery_per_mspend"] < static["delivery_per_mspend"]
+        assert reactive["stranded_per_mspend"] > static["stranded_per_mspend"]
+        # Mobility buys coverage: every moving scenario covers more nodes
+        # than the static disk.
+        for scenario in ("patrol", "orbit", "reactive disk"):
+            assert rows[scenario]["coverage_fraction"] > static["coverage_fraction"]
 
     def test_rendering_a_real_result(self):
         settings = ExperimentSettings(n=96, trials=1, quick=True, seed=3)

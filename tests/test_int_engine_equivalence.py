@@ -24,7 +24,13 @@ from equivalence import (
     paired_phase_records,
 )
 from repro import run_broadcast
-from repro.adversary import PhaseBlockingAdversary, SpatialJammer
+from repro.adversary import (
+    MobileJammer,
+    PhaseBlockingAdversary,
+    ReactiveDiskJammer,
+    SpatialJammer,
+    WaypointPatrol,
+)
 from repro.simulation import (
     JamPlan,
     JamTargeting,
@@ -301,4 +307,68 @@ class TestMultiHopEndToEndEquivalence:
             rel=0.1,
             abs_tol=0.1,
             label="spatial-jam delivery fraction",
+        )
+
+
+class TestMobileJammerEngineEquivalence:
+    """The E12 acceptance scenario: full multi-hop runs under a *mobile*
+    jammer (victims re-resolved every phase) must agree across engines on
+    protocol outcomes, with cost figures from matching distributions."""
+
+    @staticmethod
+    def _run_many(engine, adversary_factory, trials=8):
+        outs = []
+        for trial in range(trials):
+            outs.append(
+                run_broadcast(
+                    n=48,
+                    seed=700 + trial,
+                    variant="multihop",
+                    engine=engine,
+                    topology="gilbert",
+                    topology_kwargs={"radius": 0.3},
+                    adversary=adversary_factory(),
+                )
+            )
+        return outs
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: MobileJammer(
+                WaypointPatrol([(0.25, 0.25), (0.75, 0.75)], speed=0.08),
+                radius=0.2,
+                max_total_spend=2_000,
+            ),
+            lambda: ReactiveDiskJammer(radius=0.25, max_total_spend=2_000),
+        ],
+        ids=["patrol", "reactive_disk"],
+    )
+    def test_mobile_jammer_full_runs_agree(self, factory):
+        fast = self._run_many("fast", factory)
+        slot = self._run_many("slot", factory)
+        assert_means_close(
+            [o.delivery_fraction for o in slot],
+            [o.delivery_fraction for o in fast],
+            rel=0.1,
+            abs_tol=0.1,
+            label="mobile-jam delivery fraction",
+        )
+        assert_means_close(
+            [o.adversary_spend for o in slot],
+            [o.adversary_spend for o in fast],
+            rel=0.25,
+            abs_tol=50.0,
+            label="mobile-jam adversary spend",
+        )
+        assert_means_close(
+            [o.mean_node_cost for o in slot],
+            [o.mean_node_cost for o in fast],
+            rel=0.6,
+            label="mobile-jam mean node cost",
+        )
+        assert_same_distribution(
+            [o.delivery.informed for o in slot],
+            [o.delivery.informed for o in fast],
+            label="mobile-jam informed counts",
         )

@@ -140,3 +140,103 @@ class TestChargeBulk:
     def test_bulk_zero_is_noop(self):
         ledger = EnergyLedger(owner="x", budget=5)
         assert ledger.charge_bulk(EnergyOperation.LISTEN, 0) == 0
+
+
+class TestLedgerArray:
+    """Array-backed bulk accounting for the correct-node population."""
+
+    @staticmethod
+    def _array(budget=10.0, policy=BudgetPolicy.RECORD, count=4):
+        from repro.simulation import LedgerArray
+
+        return LedgerArray("node", count, budget, policy=policy)
+
+    def test_charge_bulk_many_records_per_device(self):
+        import numpy as np
+
+        array = self._array()
+        charged = array.charge_bulk_many(
+            EnergyOperation.LISTEN, np.array([0, 2]), np.array([3.0, 5.0])
+        )
+        assert charged.tolist() == [3.0, 5.0]
+        assert array.spent_array().tolist() == [3.0, 0.0, 5.0, 0.0]
+        assert array.view(2).spent_on(EnergyOperation.LISTEN) == 5.0
+        assert array.view(1).spent == 0.0
+
+    def test_charge_bulk_many_matches_per_device_charge_bulk(self):
+        """The vector op must be indistinguishable from n charge_bulk calls."""
+
+        import numpy as np
+
+        array = self._array(budget=100.0)
+        reference = [EnergyLedger(owner=f"ref:{i}", budget=100.0) for i in range(4)]
+        indices = np.array([0, 1, 3])
+        units = np.array([2.0, 7.0, 1.5])
+        array.charge_bulk_many(EnergyOperation.SEND, indices, units)
+        for index, amount in zip(indices, units):
+            reference[index].charge_bulk(EnergyOperation.SEND, float(amount))
+        for i in range(4):
+            assert array.view(i).spent == reference[i].spent
+            assert array.view(i).spent_on(EnergyOperation.SEND) == reference[i].spent_on(
+                EnergyOperation.SEND
+            )
+
+    def test_cap_policy_clips_each_device_independently(self):
+        import numpy as np
+
+        array = self._array(budget=5.0, policy=BudgetPolicy.CAP)
+        array.charge_bulk_many(EnergyOperation.JAM, np.array([0]), np.array([4.0]))
+        charged = array.charge_bulk_many(
+            EnergyOperation.JAM, np.array([0, 1]), np.array([3.0, 3.0])
+        )
+        assert charged.tolist() == [1.0, 3.0]  # device 0 clipped at its budget
+        assert array.view(0).spent == 5.0
+        assert array.view(0).remaining == 0.0
+
+    def test_enforce_policy_raises_on_any_overdraft(self):
+        import numpy as np
+
+        array = self._array(budget=5.0, policy=BudgetPolicy.ENFORCE)
+        with pytest.raises(BudgetExceededError):
+            array.charge_bulk_many(EnergyOperation.JAM, np.array([1]), np.array([6.0]))
+
+    def test_shape_mismatch_and_negative_rejected(self):
+        import numpy as np
+
+        array = self._array()
+        with pytest.raises(ConfigurationError):
+            array.charge_bulk_many(EnergyOperation.SEND, np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            array.charge_bulk_many(EnergyOperation.SEND, np.array([0]), np.array([-1.0]))
+
+    def test_view_satisfies_the_energy_ledger_interface(self):
+        array = self._array(budget=3.0, policy=BudgetPolicy.CAP)
+        view = array.view(1)
+        assert view.owner == "node:1"
+        assert view.charge(EnergyOperation.SEND)
+        assert view.charge(EnergyOperation.LISTEN, 2.0)
+        assert not view.charge(EnergyOperation.SEND)  # CAP refuses the 4th unit
+        assert view.spent == 3.0
+        assert view.exhausted
+        snapshot = view.snapshot()
+        assert snapshot["spent"] == 3.0 and snapshot["send"] == 1.0
+        assert view.charge_bulk(EnergyOperation.LISTEN, 5.0) == 0.0
+
+    def test_view_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._array().view(4)
+
+    def test_network_nodes_are_array_backed(self):
+        import numpy as np
+
+        from repro.simulation import Network, SimulationConfig
+
+        network = Network(SimulationConfig(n=8, seed=1))
+        network.nodes[3].ledger.charge(EnergyOperation.LISTEN)
+        network.node_ledgers.charge_bulk_many(
+            EnergyOperation.SEND, np.arange(8), np.full(8, 2.0)
+        )
+        costs = network.node_costs()
+        assert costs[3] == 3.0 and costs[0] == 2.0
+        assert network.nodes[3].ledger.spent == 3.0
+        assert network.max_node_cost() == 3.0

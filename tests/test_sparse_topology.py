@@ -424,3 +424,46 @@ class TestFullRunEquivalence:
         assert a.delivery.informed == b.delivery.informed
         assert a.delivery.slots_elapsed == b.delivery.slots_elapsed
         assert a.mean_node_cost == b.mean_node_cost
+
+
+class TestDiskQueryGrid:
+    """Grid-accelerated nodes_in_disk selects exactly the dense scan's rows.
+
+    Mobile jammers query a disk every phase, so above the sparse crossover
+    the query goes through a cached point grid; the distance predicate is the
+    same float arithmetic, so the two paths must agree bit for bit — on every
+    backend, including disks that are empty, huge, or (partly) outside the
+    unit square.
+    """
+
+    PROBES = [
+        ((0.3, 0.4), 0.2),
+        ((0.95, 0.95), 0.1),
+        ((1.5, 1.5), 0.2),      # entirely outside the square
+        ((0.5, 0.5), 0.0),      # degenerate disk
+        ((0.5, 0.5), 2.0),      # covers everything
+        ((-0.2, 0.5), 0.25),    # straddles the boundary
+        ((0.5, 0.5), 0.03),     # smaller than a grid cell
+    ]
+
+    @pytest.mark.parametrize("kind", ["gilbert", "scale_free"])
+    def test_grid_path_equals_scan_path(self, kind):
+        dense, sparse = paired_topologies(kind, n=300, seed=6)
+        for topo in (dense, sparse):
+            for center, radius in self.PROBES:
+                scan = np.sort(topo._disk_rows_scan(center, radius))
+                grid = np.asarray(topo._disk_rows_grid(center, radius))
+                assert np.array_equal(scan, grid), (kind, topo.backend, center, radius)
+
+    def test_backends_agree_on_disk_queries(self):
+        dense, sparse = paired_topologies("gilbert", n=150, seed=1, radius=0.1)
+        for center, radius in self.PROBES:
+            assert dense.nodes_in_disk(center, radius) == sparse.nodes_in_disk(center, radius)
+
+    def test_dispatch_by_device_count(self, monkeypatch):
+        dense, _ = paired_topologies("gilbert", n=64, seed=3, radius=0.2)
+        baseline = dense.nodes_in_disk((0.4, 0.4), 0.3)
+        assert dense._disk_grid is None  # small n: the scan path ran
+        monkeypatch.setattr(topology_module, "SPARSE_NODE_THRESHOLD", 16)
+        assert dense.nodes_in_disk((0.4, 0.4), 0.3) == baseline
+        assert dense._disk_grid is not None  # the grid path ran and cached

@@ -105,6 +105,20 @@ COMMENTARY = {
         "sub-threshold mean_node_cost blows up (Alice-less components keep hearing each other's "
         "nacks and run to the round cap) — both recorded as ROADMAP open items."
     ),
+    "E12": (
+        "Paper: Carol is adaptive — she \"possesses full information on how nodes have behaved in "
+        "the past\" (§1.1) — but the model is aspatial; this experiment extends PR 1's static disk "
+        "jammer into a mobility subsystem (repro.adversary.mobility) where the victim set is a "
+        "function of time, re-resolved against the topology every phase.  Measured, at equal spend "
+        "caps and equal total disk area under a max_quiet_retries horizon (runs end while jamming "
+        "still binds): oblivious mobility (patrol/orbit/random walk) trades denial depth for "
+        "coverage — 2-4x more nodes covered than the static disk, but victims mostly catch up "
+        "after the disk passes (high victim_delivery) — while the adaptive reactive disk, "
+        "re-centring each phase on the densest cluster of active uninformed listeners, strands "
+        "more victims per unit budget than the blind static disk and drives the network's "
+        "delivery per unit adversary budget strictly below it: the knowledge-of-state pursuit "
+        "adversary that no bind-once strategy can express."
+    ),
 }
 
 PREAMBLE = """# EXPERIMENTS — paper claims versus measured results

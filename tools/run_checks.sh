@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full unit/property/integration suite, a quick-mode
-# benchmark smoke over a representative experiment subset, and the docs
-# code-snippet smoke (README / docs quickstarts must stay runnable).
+# benchmark smoke over a representative experiment subset, the mobile-jammer
+# benchmark smoke, and the docs code-snippet smoke (README / docs quickstarts
+# must stay runnable).
 #
 # Usage:
 #   tools/run_checks.sh            # tests + benchmark smoke + docs snippets
@@ -42,6 +43,8 @@ if [[ "${1:-}" != "--no-bench" ]]; then
         run_step "quick-mode benchmark smoke (E2 delivery + E11 multihop)" \
         python -m pytest benchmarks/bench_delivery.py benchmarks/bench_multihop.py \
         --benchmark-only --benchmark-disable-gc -q
+
+    run_step "mobile-jammer benchmark smoke" python benchmarks/bench_mobile_jammer.py --smoke
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
