@@ -12,6 +12,10 @@ Environment knobs:
 * ``REPRO_BENCH_N`` — network size used by the benchmarks (default 256).
 * ``REPRO_BENCH_TRIALS`` — repeated protocol trials per sweep point (default 2).
 * ``REPRO_BENCH_FULL`` — set to ``1`` to disable the quick-mode sweep reduction.
+* ``REPRO_JOBS`` — worker processes for each experiment's trial fan-out
+  (default 1, i.e. serial; results are bit-identical either way).
+* ``REPRO_CACHE_DIR`` — content-addressed trial store; re-running the same
+  benchmark profile against a warm store skips every completed trial.
 """
 
 from __future__ import annotations
@@ -25,7 +29,12 @@ from repro.experiments.registry import run_experiment
 
 
 def bench_settings() -> ExperimentSettings:
-    """Benchmark-profile experiment settings (overridable via environment)."""
+    """Benchmark-profile experiment settings (overridable via environment).
+
+    ``jobs``/``cache_dir`` are left at ``None`` so the runner resolves them
+    from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` — the same env-threading the CI
+    smoke uses to exercise the parallel and cache-warm paths.
+    """
 
     return ExperimentSettings(
         n=int(os.environ.get("REPRO_BENCH_N", "256")),

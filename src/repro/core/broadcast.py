@@ -18,7 +18,7 @@ recovers exactly the single-hop termination behaviour on a clique.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..adversary.base import Adversary
 from ..adversary.none import NullAdversary
@@ -102,6 +102,7 @@ class EpsilonBroadcast:
         self.alice_policy = self._build_alice_policy()
         self.receiver_policy = self._build_receiver_policy()
         self.schedule = self._build_schedule()
+        self._round_phase_cache: Dict[int, List[PhasePlan]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction hooks (overridden by protocol variants)                #
@@ -177,6 +178,23 @@ class EpsilonBroadcast:
     # ------------------------------------------------------------------ #
 
     def _round_phases(self, round_index: int) -> List[PhasePlan]:
+        """The (memoised) phase plans of round ``i``.
+
+        Plans are frozen dataclasses and a pure function of the round index
+        (the schedule's policies are immutable after construction), so each
+        round's list is built once per orchestrator and reused — ``run()``
+        used to rebuild it every round, and repeated runs or round-length
+        probes paid the construction again.  Variants override
+        :meth:`_build_round_phases`, not this accessor, so they inherit the
+        memoisation.
+        """
+
+        cached = self._round_phase_cache.get(round_index)
+        if cached is None:
+            cached = self._round_phase_cache[round_index] = self._build_round_phases(round_index)
+        return cached
+
+    def _build_round_phases(self, round_index: int) -> List[PhasePlan]:
         return self.schedule.round_phases(round_index)
 
     def _roles_for(self, plan: PhasePlan, state: ProtocolState) -> PhaseRoles:

@@ -99,7 +99,7 @@ class SizeEstimateBroadcast(EpsilonBroadcast):
         top = max(1, int(math.ceil(math.log2(self.size_estimate))))
         return list(range(1, top + 1))
 
-    def _round_phases(self, round_index: int) -> List[PhasePlan]:
+    def _build_round_phases(self, round_index: int) -> List[PhasePlan]:
         base = self.schedule.round_phases(round_index)
         phases: List[PhasePlan] = []
         for plan in base:

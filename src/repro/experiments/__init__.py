@@ -1,15 +1,23 @@
 """The benchmark harness: one experiment per quantitative claim of the paper."""
 
+from .cache import CACHE_VERSION, TrialCache, trial_key
 from .harness import ExperimentResult, ExperimentSettings, run_trials
 from .reporting import render_result, render_results, render_table
+from .runner import TrialSpec, run_point, run_sweep
 
 __all__ = [
+    "CACHE_VERSION",
     "ExperimentResult",
     "ExperimentSettings",
+    "TrialCache",
+    "TrialSpec",
     "render_result",
     "render_results",
     "render_table",
+    "run_point",
+    "run_sweep",
     "run_trials",
+    "trial_key",
 ]
 
 

@@ -1,0 +1,156 @@
+"""Content-addressed on-disk store for completed experiment trials.
+
+Every trial an experiment runs is a pure function of a small, explicit input
+tuple: the (picklable, top-level) trial function, the sweep-point labels the
+per-trial seed was derived from, the derived seed itself, and the keyword
+parameters the experiment passed.  :func:`trial_key` hashes that tuple — plus
+a package-level :data:`CACHE_VERSION` salt — into a stable content address,
+and :class:`TrialCache` maps addresses to pickled trial records on disk.
+
+Warm re-runs of a sweep (EXPERIMENTS.md regeneration, benchmark repeats,
+interrupted sweeps resumed) therefore skip every trial they have already
+computed, and a change to the simulation's semantics is published by bumping
+:data:`CACHE_VERSION`, which invalidates every existing entry at once.
+
+Two properties the runner relies on:
+
+* **Hits are bit-identical to recomputation.**  Trials are deterministic in
+  their inputs, and the key covers every input, so serving the pickled record
+  is indistinguishable from re-running the trial.
+* **Corruption degrades to a miss.**  A truncated or unreadable entry (e.g. a
+  killed writer) is treated as absent and recomputed; writes go through a
+  temporary file and an atomic :func:`os.replace` so readers never observe a
+  partial entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["CACHE_VERSION", "stable_token", "trial_key", "TrialCache"]
+
+CACHE_VERSION = 1
+"""Salt mixed into every trial key.
+
+Bump this whenever a change alters what any trial computes (engine semantics,
+protocol rules, record contents) without necessarily changing the trial
+function's signature; existing stores then read as empty instead of serving
+stale records.
+"""
+
+
+def stable_token(value: object) -> str:
+    """A canonical, process-independent string encoding of a cache-key input.
+
+    Supports the value shapes experiments actually pass as labels/params —
+    ``None``, booleans, numbers, strings, sequences, mappings, sets, and
+    (frozen) dataclasses.  Anything else raises ``TypeError`` rather than
+    falling back to ``repr``, whose output may embed memory addresses and
+    silently produce unstable keys.
+    """
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        # repr of a float is shortest-round-trip and stable across processes.
+        return repr(value)
+    if isinstance(value, bytes):
+        return f"bytes:{value.hex()}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={stable_token(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__module__}.{type(value).__qualname__}({fields})"
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(stable_token(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(stable_token(item) for item in value)) + "}"
+    if isinstance(value, Mapping):
+        items = sorted((stable_token(k), stable_token(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise TypeError(
+        f"cannot build a stable cache token for {type(value).__qualname__!r} "
+        f"({value!r}); pass plain data (numbers, strings, sequences, dataclasses) "
+        "as trial labels/params"
+    )
+
+
+def trial_key(
+    trial_fn: Callable[..., object],
+    labels: Sequence[object],
+    seed: int,
+    params: Mapping[str, object],
+) -> str:
+    """The content address of one trial: sha-256 over every input that shapes it."""
+
+    payload = "\n".join(
+        [
+            f"cache-version={CACHE_VERSION}",
+            f"fn={trial_fn.__module__}:{trial_fn.__qualname__}",
+            f"labels={stable_token(tuple(labels))}",
+            f"seed={int(seed)}",
+            f"params={stable_token(dict(params))}",
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TrialCache:
+    """A directory of pickled trial records, addressed by :func:`trial_key`.
+
+    Layout is ``<root>/<first two hex chars>/<key>.pkl`` so that very large
+    stores do not degrade into one directory with millions of entries.  The
+    store is safe to share between concurrent runs: writes are atomic renames
+    and a lost race simply overwrites one deterministic record with an
+    identical one.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored record for ``key``, or ``None`` on a miss (or corruption)."""
+
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Unpickling corrupt bytes can raise nearly anything (ValueError,
+            # UnpicklingError, EOFError, ImportError, ...); every failure mode
+            # means the same thing here — treat the entry as absent.
+            return None
+
+    def put(self, key: str, record: Mapping[str, object]) -> None:
+        """Store ``record`` under ``key`` (atomic: readers never see partial writes)."""
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(dict(record), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrialCache(root={str(self.root)!r})"

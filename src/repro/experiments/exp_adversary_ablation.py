@@ -13,7 +13,8 @@ from __future__ import annotations
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import ablation_roster
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -21,6 +22,20 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E9"
 TITLE = "Jamming-strategy ablation at equal spend"
 CLAIM = "The protocol yields no advantage to adaptive scheduling: at equal spend, all non-reactive strategies force comparable (and bounded) costs, and none defeats delivery"
+
+
+def _trial(seed: int, n: int, engine: str, strategy: str, spend_cap: float) -> dict:
+    """One E9 trial: a fresh roster strategy at the shared spend cap."""
+
+    outcome = run_broadcast(
+        n=n,
+        k=2,
+        f=1.0,
+        seed=seed,
+        adversary=ablation_roster(spend_cap)[strategy](),
+        engine=engine,
+    )
+    return outcome.as_record()
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -46,19 +61,22 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    for name, factory in roster.items():
-        def trial(seed: int, factory=factory) -> dict:
-            outcome = run_broadcast(
-                n=settings.n,
-                k=2,
-                f=1.0,
-                seed=seed,
-                adversary=factory(),
-                engine=settings.engine,
-            )
-            return outcome.as_record()
+    names = list(roster)
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            name,
+            n=settings.n,
+            engine=settings.engine,
+            strategy=name,
+            spend_cap=spend_cap,
+        )
+        for name in names
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, name)
+    for name, records in zip(names, per_point):
         summary = aggregate_records(records)
         spent = summary["adversary_spend"].mean
         node_max = summary["node_max_cost"].mean

@@ -13,14 +13,15 @@ and fitted exponents.  The expected ordering of node-cost exponents is
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Dict
 
 from ..analysis.fitting import fit_power_law_with_offset
 from ..analysis.stats import aggregate_records
 from ..baselines import BalancedBackoffBroadcast, KSYStyleBroadcast, NaiveBroadcast
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary, spend_sweep
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -29,39 +30,38 @@ EXPERIMENT_ID = "E5"
 TITLE = "ε-Broadcast vs naive, KSY-style, and balanced-backoff baselines"
 CLAIM = "ε-Broadcast's per-device cost exponent (≈1/3 for k=2) beats the naive Θ(T) strategy and the KSY receiver cost Θ(T); its sender cost also beats KSY's T^0.62"
 
+_BASELINES = {
+    "naive": NaiveBroadcast,
+    "ksy": KSYStyleBroadcast,
+    "balanced-backoff": BalancedBackoffBroadcast,
+}
 
-def _protocol_runners(settings: ExperimentSettings) -> Dict[str, Callable[[int, float], object]]:
-    """Factories running each protocol against a fresh blocker with spend cap T."""
+PROTOCOLS = ("epsilon-broadcast", "naive", "ksy", "balanced-backoff")
 
-    def run_epsilon(seed: int, cap: float):
-        return run_broadcast(
-            n=settings.n,
+
+def _trial(seed: int, n: int, engine: str, protocol: str, cap: float) -> dict:
+    """One E5 trial: ``protocol`` against a fresh blocker with spend cap ``cap``."""
+
+    if protocol == "epsilon-broadcast":
+        outcome = run_broadcast(
+            n=n,
             k=2,
             f=1.0,
             seed=seed,
             adversary=blocking_adversary(cap),
-            engine=settings.engine,
+            engine=engine,
         )
-
-    def run_baseline(cls):
-        def runner(seed: int, cap: float):
-            config = SimulationConfig(n=settings.n, k=2, f=1.0, seed=seed)
-            return cls(config, adversary=blocking_adversary(cap), engine=settings.engine).run()
-
-        return runner
-
-    return {
-        "epsilon-broadcast": run_epsilon,
-        "naive": run_baseline(NaiveBroadcast),
-        "ksy": run_baseline(KSYStyleBroadcast),
-        "balanced-backoff": run_baseline(BalancedBackoffBroadcast),
-    }
+    else:
+        config = SimulationConfig(n=n, k=2, f=1.0, seed=seed)
+        outcome = _BASELINES[protocol](
+            config, adversary=blocking_adversary(cap), engine=engine
+        ).run()
+    return outcome.as_record()
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
     config = SimulationConfig(n=settings.n, k=2, f=1.0, seed=settings.seed)
     sweep = spend_sweep(config, points=4, quick=settings.quick)
-    runners = _protocol_runners(settings)
 
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
@@ -77,27 +77,37 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    series: Dict[str, Dict[str, list]] = {name: {"T": [], "alice": [], "node": []} for name in runners}
-    for cap in sweep:
-        for name, runner in runners.items():
-            def trial(seed: int, runner=runner, cap=cap) -> dict:
-                outcome = runner(seed, cap)
-                return outcome.as_record()
+    points = [(cap, name) for cap in sweep for name in PROTOCOLS]
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            name,
+            cap,
+            n=settings.n,
+            engine=settings.engine,
+            protocol=name,
+            cap=cap,
+        )
+        for cap, name in points
+    ]
+    per_point = run_sweep(specs, settings)
 
-            records = run_trials(trial, settings, EXPERIMENT_ID, name, cap)
-            summary = aggregate_records(records)
-            spent = summary["adversary_spend"].mean
-            series[name]["T"].append(spent)
-            series[name]["alice"].append(summary["alice_cost"].mean)
-            series[name]["node"].append(summary["node_max_cost"].mean)
-            result.add_row(
-                protocol=name,
-                T_spent=spent,
-                alice_cost=summary["alice_cost"].mean,
-                node_mean_cost=summary["node_mean_cost"].mean,
-                node_max_cost=summary["node_max_cost"].mean,
-                delivery_fraction=summary["delivery_fraction"].mean,
-            )
+    series: Dict[str, Dict[str, list]] = {name: {"T": [], "alice": [], "node": []} for name in PROTOCOLS}
+    for (cap, name), records in zip(points, per_point):
+        summary = aggregate_records(records)
+        spent = summary["adversary_spend"].mean
+        series[name]["T"].append(spent)
+        series[name]["alice"].append(summary["alice_cost"].mean)
+        series[name]["node"].append(summary["node_max_cost"].mean)
+        result.add_row(
+            protocol=name,
+            T_spent=spent,
+            alice_cost=summary["alice_cost"].mean,
+            node_mean_cost=summary["node_mean_cost"].mean,
+            node_max_cost=summary["node_max_cost"].mean,
+            delivery_fraction=summary["delivery_fraction"].mean,
+        )
 
     for name, data in series.items():
         if len(data["T"]) >= 2:

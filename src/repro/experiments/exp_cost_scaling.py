@@ -10,11 +10,14 @@ a sub-linear, roughly matching exponent for Alice (load balance).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 from ..analysis.competitiveness import analyze_outcomes
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary, saturation_spend, spend_sweep
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -22,6 +25,39 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E1"
 TITLE = "Per-device cost vs adversary spend T (k = 2)"
 CLAIM = "Alice and each node pay Õ(T^(1/3) + 1) when Carol jams for T slots (Theorem 1, k = 2)"
+
+
+def _trial(seed: int, n: int, engine: str, cap: float) -> dict:
+    """One E1 trial: ε-Broadcast against a phase blocker capped at ``cap``.
+
+    Returns only the flat record: shipping the full ``BroadcastOutcome``
+    (config + per-phase event log) through the runner would bloat worker IPC
+    and the trial cache for fields the analysis never reads.
+    """
+
+    outcome = run_broadcast(
+        n=n,
+        k=2,
+        f=1.0,
+        seed=seed,
+        adversary=blocking_adversary(max_total_spend=cap),
+        engine=engine,
+    )
+    return outcome.as_record()
+
+
+def _fit_point(record: dict) -> SimpleNamespace:
+    """The slice of a ``BroadcastOutcome`` that ``analyze_outcomes`` reads,
+    rebuilt from a flat trial record (same field sources as ``as_record``)."""
+
+    return SimpleNamespace(
+        protocol="epsilon-broadcast",
+        config=SimpleNamespace(k=int(record["k"])),
+        adversary_spend=record["adversary_spend"],
+        alice_cost=record["alice_cost"],
+        max_node_cost=record["node_max_cost"],
+        mean_node_cost=record["node_mean_cost"],
+    )
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -45,25 +81,16 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    representative_outcomes = []
-    for cap in sweep:
-        def trial(seed: int, cap: float = cap) -> dict:
-            outcome = run_broadcast(
-                n=settings.n,
-                k=2,
-                f=1.0,
-                seed=seed,
-                adversary=blocking_adversary(max_total_spend=cap),
-                engine=settings.engine,
-            )
-            record = outcome.as_record()
-            record["outcome"] = outcome
-            return record
+    specs = [
+        TrialSpec.point(_trial, EXPERIMENT_ID, cap, n=settings.n, engine=settings.engine, cap=cap)
+        for cap in sweep
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, cap)
-        representative_outcomes.append(records[0]["outcome"])
-        numeric = [{k: v for k, v in r.items() if k != "outcome"} for r in records]
-        summary = aggregate_records(numeric)
+    representative_outcomes = []
+    for cap, records in zip(sweep, per_point):
+        representative_outcomes.append(_fit_point(records[0]))
+        summary = aggregate_records(records)
         result.add_row(
             T_cap=cap,
             T_spent=summary["adversary_spend"].mean,

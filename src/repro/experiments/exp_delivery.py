@@ -15,7 +15,8 @@ from __future__ import annotations
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary, splitting_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -25,16 +26,42 @@ TITLE = "Delivery fraction under worst-case n-uniform attacks"
 CLAIM = "At least (1-ε)n correct nodes receive m w.h.p.; stranding even an ε-fraction costs Carol a constant fraction of her total budget"
 
 
+def _trial(seed: int, n: int, engine: str, attack: str, victims: int) -> dict:
+    """One E2 trial; ``attack`` picks the adversary family, ``victims`` its size."""
+
+    if attack == "none":
+        adversary = "none"
+    elif attack == "blocker":
+        adversary = blocking_adversary(None)
+    else:
+        adversary = splitting_adversary(victims)
+    outcome = run_broadcast(
+        n=n,
+        k=2,
+        f=1.0,
+        seed=seed,
+        adversary=adversary,
+        engine=engine,
+    )
+    record = outcome.as_record()
+    record["uninformed"] = float(outcome.config.n - outcome.delivery.informed)
+    record["budget_fraction"] = (
+        outcome.adversary_spend / outcome.config.adversary_total_budget
+    )
+    record["meets"] = float(outcome.meets_delivery_target())
+    return record
+
+
 def run(settings: ExperimentSettings) -> ExperimentResult:
     config = SimulationConfig(n=settings.n, k=2, f=1.0, seed=settings.seed)
     n = settings.n
 
     scenarios = [
-        ("no attack", lambda: None, 0),
-        ("blocker (full budget)", lambda: blocking_adversary(None), 0),
-        ("split 2% of n", lambda: splitting_adversary(max(1, n // 50)), max(1, n // 50)),
-        ("split 10% of n", lambda: splitting_adversary(n // 10), n // 10),
-        ("split 25% of n", lambda: splitting_adversary(n // 4), n // 4),
+        ("no attack", "none", 0),
+        ("blocker (full budget)", "blocker", 0),
+        ("split 2% of n", "split", max(1, n // 50)),
+        ("split 10% of n", "split", n // 10),
+        ("split 25% of n", "split", n // 4),
     ]
     if settings.quick:
         scenarios = scenarios[:4]
@@ -54,26 +81,21 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    for label, factory, target in scenarios:
-        def trial(seed: int, factory=factory) -> dict:
-            adversary = factory()
-            outcome = run_broadcast(
-                n=settings.n,
-                k=2,
-                f=1.0,
-                seed=seed,
-                adversary=adversary if adversary is not None else "none",
-                engine=settings.engine,
-            )
-            record = outcome.as_record()
-            record["uninformed"] = float(outcome.config.n - outcome.delivery.informed)
-            record["budget_fraction"] = (
-                outcome.adversary_spend / outcome.config.adversary_total_budget
-            )
-            record["meets"] = float(outcome.meets_delivery_target())
-            return record
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            label,
+            n=settings.n,
+            engine=settings.engine,
+            attack=attack,
+            victims=victims,
+        )
+        for label, attack, victims in scenarios
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+    for (label, _attack, target), records in zip(scenarios, per_point):
         summary = aggregate_records(records)
         result.add_row(
             scenario=label,

@@ -15,7 +15,8 @@ from ..analysis.fitting import fit_power_law_with_offset
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary, saturation_spend, spend_sweep
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -23,6 +24,21 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E6"
 TITLE = "General k: cost exponent 1/(k+1) and Θ(k) latency overhead"
 CLAIM = "For budget exponent k the per-device cost is Õ(T^{1/(k+1)}) while latency and overall cost grow by a Θ(k) factor (§3, §3.2)"
+
+
+def _trial(seed: int, n: int, engine: str, k: int, cap: float) -> dict:
+    """One E6 trial: the general-k variant against a capped phase blocker."""
+
+    outcome = run_broadcast(
+        n=n,
+        k=k,
+        f=1.0,
+        seed=seed,
+        variant="general-k",
+        adversary=blocking_adversary(cap),
+        engine=engine,
+    )
+    return outcome.as_record()
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -45,24 +61,29 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
+    sweeps = {
+        k: spend_sweep(
+            SimulationConfig(n=settings.n, k=k, f=1.0, seed=settings.seed),
+            points=4,
+            quick=settings.quick,
+        )
+        for k in ks
+    }
+    points = [(k, cap) for k in ks for cap in sweeps[k]]
+    specs = [
+        TrialSpec.point(
+            _trial, EXPERIMENT_ID, k, cap, n=settings.n, engine=settings.engine, k=k, cap=cap
+        )
+        for k, cap in points
+    ]
+    records_by_point = dict(zip(points, run_sweep(specs, settings)))
+
     for k in ks:
         config = SimulationConfig(n=settings.n, k=k, f=1.0, seed=settings.seed)
-        sweep = spend_sweep(config, points=4, quick=settings.quick)
+        sweep = sweeps[k]
         spends, node_costs, alice_costs = [], [], []
         for cap in sweep:
-            def trial(seed: int, cap=cap, k=k) -> dict:
-                outcome = run_broadcast(
-                    n=settings.n,
-                    k=k,
-                    f=1.0,
-                    seed=seed,
-                    variant="general-k",
-                    adversary=blocking_adversary(cap),
-                    engine=settings.engine,
-                )
-                return outcome.as_record()
-
-            records = run_trials(trial, settings, EXPERIMENT_ID, k, cap)
+            records = records_by_point[(k, cap)]
             summary = aggregate_records(records)
             spends.append(summary["adversary_spend"].mean)
             node_costs.append(summary["node_max_cost"].mean)

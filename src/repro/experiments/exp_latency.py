@@ -15,13 +15,33 @@ from ..adversary import ContinuousJammer
 from ..analysis.fitting import fit_power_law
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 
 EXPERIMENT_ID = "E3"
 TITLE = "Latency vs network size under maximal jamming"
 CLAIM = "All correct participants terminate within O(n^{1+1/k}) slots, which is asymptotically optimal (Corollary 1)"
+
+
+def _trial(seed: int, n: int, engine: str) -> dict:
+    """One E3 trial: a jammed and an unjammed run of the same size ``n``."""
+
+    jammed = run_broadcast(
+        n=n,
+        k=2,
+        f=1.0,
+        seed=seed,
+        adversary=ContinuousJammer(),
+        engine=engine,
+    )
+    clean = run_broadcast(n=n, k=2, f=1.0, seed=seed + 1, adversary="none", engine=engine)
+    return {
+        "slots_jammed": float(jammed.slots_elapsed),
+        "slots_clean": float(clean.slots_elapsed),
+        "delivery": jammed.delivery_fraction,
+    }
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -43,25 +63,14 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    jammed_latencies = []
-    for n in sizes:
-        def trial(seed: int, n: int = n) -> dict:
-            jammed = run_broadcast(
-                n=n,
-                k=2,
-                f=1.0,
-                seed=seed,
-                adversary=ContinuousJammer(),
-                engine=settings.engine,
-            )
-            clean = run_broadcast(n=n, k=2, f=1.0, seed=seed + 1, adversary="none", engine=settings.engine)
-            return {
-                "slots_jammed": float(jammed.slots_elapsed),
-                "slots_clean": float(clean.slots_elapsed),
-                "delivery": jammed.delivery_fraction,
-            }
+    specs = [
+        TrialSpec.point(_trial, EXPERIMENT_ID, n, n=n, engine=settings.engine)
+        for n in sizes
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, n)
+    jammed_latencies = []
+    for n, records in zip(sizes, per_point):
         summary = aggregate_records(records)
         bound = float(n) ** 1.5
         jammed_latencies.append((n, summary["slots_jammed"].mean))

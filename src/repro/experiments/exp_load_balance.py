@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import math
 
+from typing import Optional
+
 from ..analysis.stats import aggregate_records
 from ..baselines import KSYStyleBroadcast
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -26,6 +29,24 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E4"
 TITLE = "Load balance: Alice cost vs per-node cost"
 CLAIM = "Alice and each correct node incur asymptotically equal costs, up to logarithmic factors (load balancing, §1 / Lemma 11)"
+
+
+def _trial(seed: int, n: int, engine: str, cap: Optional[float]) -> dict:
+    """One ε-Broadcast E4 trial against a blocker capped at ``cap`` (None = no attack)."""
+
+    adversary = blocking_adversary(cap) if cap is not None else "none"
+    outcome = run_broadcast(n=n, k=2, f=1.0, seed=seed, adversary=adversary, engine=engine)
+    return outcome.as_record()
+
+
+def _ksy_trial(seed: int, n: int, engine: str, cap: float) -> dict:
+    """The KSY-style contrast run: explicitly *not* load balanced."""
+
+    config_trial = SimulationConfig(n=n, k=2, f=1.0, seed=seed)
+    outcome = KSYStyleBroadcast(
+        config_trial, adversary=blocking_adversary(cap), engine=engine
+    ).run()
+    return outcome.as_record()
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -56,15 +77,25 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
 
     polylog_envelope = math.log(settings.n) ** 3
 
-    for label, cap in scenarios:
-        def trial(seed: int, cap=cap) -> dict:
-            adversary = blocking_adversary(cap) if cap is not None else "none"
-            outcome = run_broadcast(
-                n=settings.n, k=2, f=1.0, seed=seed, adversary=adversary, engine=settings.engine
-            )
-            return outcome.as_record()
+    specs = [
+        TrialSpec.point(
+            _trial, EXPERIMENT_ID, label, n=settings.n, engine=settings.engine, cap=cap
+        )
+        for label, cap in scenarios
+    ]
+    specs.append(
+        TrialSpec.point(
+            _ksy_trial,
+            EXPERIMENT_ID,
+            "ksy",
+            n=settings.n,
+            engine=settings.engine,
+            cap=budget / 2.0,
+        )
+    )
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+    for (label, _cap), records in zip(scenarios, per_point):
         summary = aggregate_records(records)
         alice = summary["alice_cost"].mean
         mean_cost = summary["node_mean_cost"].mean
@@ -80,15 +111,7 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         )
 
     # Contrast: the KSY-style baseline is explicitly *not* load balanced.
-    def ksy_trial(seed: int) -> dict:
-        config_trial = SimulationConfig(n=settings.n, k=2, f=1.0, seed=seed)
-        outcome = KSYStyleBroadcast(
-            config_trial, adversary=blocking_adversary(budget / 2.0), engine=settings.engine
-        ).run()
-        return outcome.as_record()
-
-    records = run_trials(ksy_trial, settings, EXPERIMENT_ID, "ksy")
-    summary = aggregate_records(records)
+    summary = aggregate_records(per_point[-1])
     alice = summary["alice_cost"].mean
     mean_cost = summary["node_mean_cost"].mean
     max_cost = summary["node_max_cost"].mean

@@ -56,7 +56,8 @@ from ..analysis.stats import aggregate_records
 from ..core.broadcast import MultiHopBroadcast
 from ..simulation.config import SimulationConfig
 from ..simulation.topology import TopologySpec, gilbert_connectivity_radius
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM", "scenario_roster"]
 
@@ -149,12 +150,34 @@ def victim_metrics(protocol, outcome, adversary, n: int) -> dict:
     }
 
 
-def run(settings: ExperimentSettings) -> ExperimentResult:
-    n = settings.n
+def _trial(seed: int, n: int, engine: str, scenario: str, roster_seed: int) -> dict:
+    """One E12 trial: the named roster scenario at half of Carol's budget.
+
+    ``roster_seed`` seeds the roster's random-walk trajectory exactly as the
+    experiment's ``settings.seed`` did when the roster was built inline.
+    """
+
     radius = 2.0 * gilbert_connectivity_radius(n)
     # Force the CSR backend: every E12 run exercises the same sparse
     # nodes_in_disk / event-driven engine paths the large-n acceptance uses.
     spec = TopologySpec.gilbert(radius=radius, sparse=True)
+    config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
+    adversary = scenario_roster(None, seed=roster_seed)[scenario]()
+    adversary.max_total_spend = 0.5 * config.adversary_total_budget
+    protocol = MultiHopBroadcast(
+        config,
+        adversary=adversary,
+        engine=engine,
+        max_quiet_retries=QUIET_RETRIES,
+    )
+    outcome = protocol.run()
+    record = outcome.as_record()
+    record.update(victim_metrics(protocol, outcome, adversary, n))
+    return record
+
+
+def run(settings: ExperimentSettings) -> ExperimentResult:
+    n = settings.n
 
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
@@ -173,23 +196,22 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    for label, factory in scenario_roster(None, seed=settings.seed).items():
-        def trial(seed: int, factory=factory) -> dict:
-            config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
-            adversary = factory()
-            adversary.max_total_spend = 0.5 * config.adversary_total_budget
-            protocol = MultiHopBroadcast(
-                config,
-                adversary=adversary,
-                engine=settings.engine,
-                max_quiet_retries=QUIET_RETRIES,
-            )
-            outcome = protocol.run()
-            record = outcome.as_record()
-            record.update(victim_metrics(protocol, outcome, adversary, n))
-            return record
+    labels = list(scenario_roster(None, seed=settings.seed))
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            label,
+            n=n,
+            engine=settings.engine,
+            scenario=label,
+            roster_seed=settings.seed,
+        )
+        for label in labels
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+    for label, records in zip(labels, per_point):
         summary = aggregate_records(records)
         result.add_row(
             scenario=label,

@@ -23,11 +23,14 @@ measures three things:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.stats import aggregate_records
 from ..core.broadcast import MultiHopBroadcast
 from ..simulation.config import SimulationConfig
 from ..simulation.topology import TopologySpec, gilbert_connectivity_radius
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import spatial_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -54,6 +57,38 @@ def _scenarios(settings: ExperimentSettings):
     return scenarios
 
 
+def _trial(
+    seed: int,
+    n: int,
+    engine: str,
+    kind: str,
+    radius: Optional[float],
+    attack: Optional[str],
+) -> dict:
+    """One E11 trial: multi-hop relaying over the scenario's topology."""
+
+    if kind == "gilbert":
+        spec = TopologySpec.gilbert(radius=radius)
+    else:
+        spec = TopologySpec.scale_free(alpha=2.5)
+    config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
+    adversary = spatial_adversary() if attack == "spatial" else None
+    protocol = MultiHopBroadcast(
+        config,
+        adversary=adversary,
+        engine=engine,
+    )
+    outcome = protocol.run()
+    topology = protocol.network.topology
+    reachable = len(topology.reachable_from_alice())
+    record = outcome.as_record()
+    record["reachable_fraction"] = reachable / n
+    record["delivery_vs_reachable"] = (
+        outcome.delivery.informed / reachable if reachable else 1.0
+    )
+    return record
+
+
 def run(settings: ExperimentSettings) -> ExperimentResult:
     n = settings.n
     r_c = gilbert_connectivity_radius(n)
@@ -75,31 +110,23 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    for label, kind, multiplier, attack in _scenarios(settings):
-        if kind == "gilbert":
-            spec = TopologySpec.gilbert(radius=multiplier * r_c)
-        else:
-            spec = TopologySpec.scale_free(alpha=2.5)
+    scenarios = _scenarios(settings)
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            label,
+            n=n,
+            engine=settings.engine,
+            kind=kind,
+            radius=(multiplier * r_c if multiplier is not None else None),
+            attack=attack,
+        )
+        for label, kind, multiplier, attack in scenarios
+    ]
+    per_point = run_sweep(specs, settings)
 
-        def trial(seed: int, spec=spec, attack=attack) -> dict:
-            config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
-            adversary = spatial_adversary() if attack == "spatial" else None
-            protocol = MultiHopBroadcast(
-                config,
-                adversary=adversary,
-                engine=settings.engine,
-            )
-            outcome = protocol.run()
-            topology = protocol.network.topology
-            reachable = len(topology.reachable_from_alice())
-            record = outcome.as_record()
-            record["reachable_fraction"] = reachable / n
-            record["delivery_vs_reachable"] = (
-                outcome.delivery.informed / reachable if reachable else 1.0
-            )
-            return record
-
-        records = run_trials(trial, settings, EXPERIMENT_ID, label)
+    for (label, kind, multiplier, attack), records in zip(scenarios, per_point):
         summary = aggregate_records(records)
         result.add_row(
             scenario=label,

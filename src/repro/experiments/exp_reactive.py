@@ -16,7 +16,8 @@ from __future__ import annotations
 from ..analysis.bounds import reactive_f_threshold
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import reactive_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -24,6 +25,25 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E7"
 TITLE = "Reactive jamming vs the decoy-traffic variant"
 CLAIM = "With decoy traffic the protocol stays resource-competitive against a reactive adversary for f < 1/24 (Lemma 19); without decoys a reactive jammer blocks m at cost comparable to Alice's"
+
+
+def _trial(seed: int, n: int, engine: str, variant: str, f: float, attack: bool) -> dict:
+    """One E7 trial: ``variant`` at jam-rate ``f``, reactively jammed or clean."""
+
+    outcome = run_broadcast(
+        n=n,
+        k=2,
+        f=f,
+        seed=seed,
+        variant=variant,
+        adversary=reactive_adversary() if attack else "none",
+        engine=engine,
+    )
+    record = outcome.as_record()
+    record["carol_over_alice"] = (
+        outcome.adversary_spend / outcome.alice_cost if outcome.alice_cost else 0.0
+    )
+    return record
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -52,24 +72,23 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    for label, variant, f, attack in scenarios:
-        def trial(seed: int, variant=variant, f=f, attack=attack) -> dict:
-            outcome = run_broadcast(
-                n=settings.n,
-                k=2,
-                f=f,
-                seed=seed,
-                variant=variant,
-                adversary=reactive_adversary() if attack else "none",
-                engine=settings.engine,
-            )
-            record = outcome.as_record()
-            record["carol_over_alice"] = (
-                outcome.adversary_spend / outcome.alice_cost if outcome.alice_cost else 0.0
-            )
-            return record
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            label,
+            f,
+            n=settings.n,
+            engine=settings.engine,
+            variant=variant,
+            f=f,
+            attack=attack,
+        )
+        for label, variant, f, attack in scenarios
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, label, f)
+    for (label, _variant, f, _attack), records in zip(scenarios, per_point):
         summary = aggregate_records(records)
         result.add_row(
             scenario=label,

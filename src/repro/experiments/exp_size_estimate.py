@@ -13,11 +13,13 @@ cost/latency inflation factors, which should be ≈ constant for ``ν = 2n`` and
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import blocking_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -25,6 +27,28 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E8"
 TITLE = "Unknown n: polynomial overestimates cost only a logarithmic factor"
 CLAIM = "ε-Broadcast still works when nodes share only a polynomial overestimate ν of n, at an O(lg ν) factor in cost and latency (§4.2)"
+
+
+def _trial(
+    seed: int, n: int, engine: str, estimate: Optional[int], cap: Optional[float]
+) -> dict:
+    """One E8 trial: exact-n or size-estimate variant, clean or blocked."""
+
+    adversary = blocking_adversary(cap) if cap is not None else "none"
+    if estimate is None:
+        outcome = run_broadcast(n=n, k=2, f=1.0, seed=seed, adversary=adversary, engine=engine)
+    else:
+        outcome = run_broadcast(
+            n=n,
+            k=2,
+            f=1.0,
+            seed=seed,
+            adversary=adversary,
+            variant="size-estimate",
+            size_estimate=estimate,
+            engine=engine,
+        )
+    return outcome.as_record()
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -51,29 +75,30 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
+    points = [
+        (attack_label, cap, est_label, estimate)
+        for attack_label, cap in attacks
+        for est_label, estimate in estimates
+    ]
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            attack_label,
+            est_label,
+            n=n,
+            engine=settings.engine,
+            estimate=estimate,
+            cap=cap,
+        )
+        for attack_label, cap, est_label, estimate in points
+    ]
+    per_point = iter(run_sweep(specs, settings))
+
     for attack_label, cap in attacks:
         baseline_slots = None
         for est_label, estimate in estimates:
-            def trial(seed: int, estimate=estimate, cap=cap) -> dict:
-                adversary = blocking_adversary(cap) if cap is not None else "none"
-                if estimate is None:
-                    outcome = run_broadcast(
-                        n=n, k=2, f=1.0, seed=seed, adversary=adversary, engine=settings.engine
-                    )
-                else:
-                    outcome = run_broadcast(
-                        n=n,
-                        k=2,
-                        f=1.0,
-                        seed=seed,
-                        adversary=adversary,
-                        variant="size-estimate",
-                        size_estimate=estimate,
-                        engine=settings.engine,
-                    )
-                return outcome.as_record()
-
-            records = run_trials(trial, settings, EXPERIMENT_ID, attack_label, est_label)
+            records = next(per_point)
             summary = aggregate_records(records)
             slots = summary["slots"].mean
             if baseline_slots is None:

@@ -17,7 +17,8 @@ from ..analysis.fitting import fit_power_law_with_offset
 from ..analysis.stats import aggregate_records
 from ..core.api import run_broadcast
 from ..simulation.config import SimulationConfig
-from .harness import ExperimentResult, ExperimentSettings, run_trials
+from .harness import ExperimentResult, ExperimentSettings
+from .runner import TrialSpec, run_sweep
 from .workloads import spoofing_adversary
 
 __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
@@ -25,6 +26,18 @@ __all__ = ["run", "EXPERIMENT_ID", "TITLE", "CLAIM"]
 EXPERIMENT_ID = "E10"
 TITLE = "Request-phase spoofing: the price of delaying termination"
 CLAIM = "Keeping Alice executing past round i costs Carol Ω(2^{(b/2+1)i}) per extra round, while Alice's extra cost grows only as Õ(T^{a/(b/2+1)}) (§2.2, Lemma 10)"
+
+
+def _trial(seed: int, n: int, engine: str, cap: float) -> dict:
+    """One E10 trial: the request-phase spoofer capped at ``cap`` (0 = no attack)."""
+
+    adversary = spoofing_adversary(cap) if cap > 0 else "none"
+    outcome = run_broadcast(
+        n=n, k=2, f=1.0, seed=seed, adversary=adversary, engine=engine
+    )
+    record = outcome.as_record()
+    record["alice_round"] = record.get("extra_alice_terminated_round", float("nan"))
+    return record
 
 
 def run(settings: ExperimentSettings) -> ExperimentResult:
@@ -48,19 +61,22 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         ],
     )
 
-    spends, alice_costs = [], []
-    for fraction in fractions:
-        cap = fraction * budget
-        def trial(seed: int, cap=cap) -> dict:
-            adversary = spoofing_adversary(cap) if cap > 0 else "none"
-            outcome = run_broadcast(
-                n=settings.n, k=2, f=1.0, seed=seed, adversary=adversary, engine=settings.engine
-            )
-            record = outcome.as_record()
-            record["alice_round"] = record.get("extra_alice_terminated_round", float("nan"))
-            return record
+    specs = [
+        TrialSpec.point(
+            _trial,
+            EXPERIMENT_ID,
+            fraction,
+            n=settings.n,
+            engine=settings.engine,
+            cap=fraction * budget,
+        )
+        for fraction in fractions
+    ]
+    per_point = run_sweep(specs, settings)
 
-        records = run_trials(trial, settings, EXPERIMENT_ID, fraction)
+    spends, alice_costs = [], []
+    for fraction, records in zip(fractions, per_point):
+        cap = fraction * budget
         summary = aggregate_records(records)
         spent = summary["adversary_spend"].mean
         spends.append(spent)

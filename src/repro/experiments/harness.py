@@ -10,6 +10,7 @@ experiment shares — network size, number of repeated trials, base seed, and a
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from numbers import Integral
 from typing import Callable, Dict, List, Optional, Sequence
@@ -43,6 +44,18 @@ class ExperimentSettings:
         Execution engine passed to the protocols (``"fast"`` or ``"slot"``).
         Validated on construction: a typo would otherwise only surface deep
         inside the first protocol run of a sweep.
+    jobs:
+        Worker-process count for the trial runner
+        (:func:`repro.experiments.runner.run_sweep`).  ``None`` defers to the
+        ``REPRO_JOBS`` environment variable, and absent that to ``1`` (the
+        serial fallback).  Parallel runs are bit-identical to serial ones —
+        seeds are derived per (labels, trial index), never per worker.
+    cache_dir:
+        Directory of the content-addressed trial store
+        (:class:`repro.experiments.cache.TrialCache`).  ``None`` defers to
+        ``REPRO_CACHE_DIR``; no directory from either source disables
+        caching, as does the explicit empty string ``""`` (which also masks
+        the environment variable).
     """
 
     n: int = 512
@@ -50,6 +63,8 @@ class ExperimentSettings:
     seed: int = 2012
     quick: bool = True
     engine: str = "fast"
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Validation failures name the offending field and echo the received
@@ -72,6 +87,57 @@ class ExperimentSettings:
             raise ConfigurationError(
                 f"ExperimentSettings.seed must be an integer, got {self.seed!r}"
             )
+        if self.jobs is not None and (
+            not isinstance(self.jobs, Integral) or self.jobs < 1
+        ):
+            raise ConfigurationError(
+                f"ExperimentSettings.jobs must be a positive integer or None, "
+                f"got {self.jobs!r}"
+            )
+        if self.cache_dir is not None and not isinstance(self.cache_dir, (str, os.PathLike)):
+            raise ConfigurationError(
+                f"ExperimentSettings.cache_dir must be a path or None, got {self.cache_dir!r}"
+            )
+
+    @property
+    def resolved_jobs(self) -> int:
+        """The effective worker count: explicit ``jobs``, else ``REPRO_JOBS``, else 1.
+
+        The environment value is validated here, when it is actually consulted
+        — a bad ``REPRO_JOBS`` names itself instead of surfacing as a cryptic
+        pool failure mid-sweep.
+        """
+
+        if self.jobs is not None:
+            return int(self.jobs)
+        env = os.environ.get("REPRO_JOBS")
+        if env is None or env.strip() == "":
+            return 1
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(f"REPRO_JOBS must be a positive integer, got {env!r}")
+        return value
+
+    @property
+    def resolved_cache_dir(self) -> Optional[str]:
+        """The effective trial-store directory, or ``None`` when caching is off.
+
+        The empty string is "explicitly disabled": it wins over a
+        ``REPRO_CACHE_DIR`` set in the environment.
+        """
+
+        if self.cache_dir is not None:
+            value = os.fspath(self.cache_dir)
+            return value if value else None
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env is None or env.strip() == "":
+            return None
+        return env
 
     def trial_seed(self, *labels: object) -> int:
         """A deterministic seed for one trial of one sweep point."""
@@ -93,22 +159,40 @@ class ExperimentResult:
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     summaries: Dict[str, float] = field(default_factory=dict)
+    # Lazily-built numeric column index: (row count it was built at, values by
+    # column).  Excluded from comparison/repr — it is a pure read cache.
+    _numeric_index: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_row(self, **values: object) -> None:
         self.rows.append(dict(values))
+        self._numeric_index = None
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
 
     def column_values(self, column: str) -> List[float]:
-        """All numeric values recorded for a column, in row order."""
+        """All numeric values recorded for a column, in row order.
 
-        values: List[float] = []
-        for row in self.rows:
-            value = row.get(column)
-            if isinstance(value, (int, float)):
-                values.append(float(value))
-        return values
+        The numeric index over every column is built once per result (and
+        rebuilt whenever the row count changes), so repeated lookups cost
+        O(1) per column instead of rescanning all rows on every call.
+
+        ``rows`` is treated as **append-only**: adding rows (via ``add_row``
+        or appending to the list directly) invalidates the index, but
+        mutating an existing row's cells in place would not be noticed —
+        append a corrected row instead of editing one.
+        """
+
+        if self._numeric_index is None or self._numeric_index[0] != len(self.rows):
+            index: Dict[str, List[float]] = {}
+            for row in self.rows:
+                for key, value in row.items():
+                    if isinstance(value, (int, float)):
+                        index.setdefault(key, []).append(float(value))
+            self._numeric_index = (len(self.rows), index)
+        return list(self._numeric_index[1].get(column, ()))
 
 
 def run_trials(
@@ -120,6 +204,13 @@ def run_trials(
 
     ``trial_fn`` receives the seed for that trial and returns a flat record;
     the list of records (one per trial) is returned for aggregation.
+
+    This is the serial, in-process primitive (it accepts closures and
+    lambdas).  The registered experiments route their sweeps through
+    :func:`repro.experiments.runner.run_sweep` instead, which fans the whole
+    (sweep point × trial) grid across worker processes and the trial cache
+    while deriving seeds identically — records are bit-identical to this
+    loop's.
     """
 
     records: List[Dict[str, float]] = []

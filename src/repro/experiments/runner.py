@@ -1,0 +1,226 @@
+"""Parallel, cache-aware execution of experiment trials.
+
+The experiments in this package are Monte-Carlo sweeps: a grid of sweep
+points, each repeated for ``settings.trials`` independent seeds, every trial a
+pure function of its seed and parameters.  That workload is embarrassingly
+parallel, and :func:`run_sweep` exploits it: experiments describe their whole
+sweep as a list of :class:`TrialSpec` work units, and the runner fans the
+``len(specs) × settings.trials`` trials out across ``settings.resolved_jobs``
+worker processes (``jobs=1`` is a plain in-process loop — the serial
+fallback), consults the content-addressed :class:`~repro.experiments.cache.TrialCache`
+for already-computed trials, and returns records grouped per spec in
+deterministic submission order.
+
+Three invariants make parallel runs **bit-identical** to serial ones:
+
+* **Seeds are derived exactly as the serial harness derives them** —
+  ``settings.trial_seed(*spec.labels, trial_index)`` — so a record's seed does
+  not depend on which worker computed it or in what order.
+* **Trial functions are top-level module functions** taking
+  ``(seed, **params)`` with picklable params.  They carry no shared state, so
+  process boundaries cannot perturb them (and closures, which cannot cross a
+  process boundary, are rejected by pickling up front).
+* **Results are ordered by (spec index, trial index)**, never by completion
+  order.
+
+Caching happens in the parent: hits are served before any work is dispatched,
+misses are executed (in the pool or inline) and written back afterwards, so
+workers never touch the store concurrently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .cache import TrialCache, trial_key
+from .harness import ExperimentSettings
+
+__all__ = ["TrialSpec", "ExecutionStats", "EXECUTION_STATS", "run_sweep", "run_point"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One sweep point: a trial function plus its seed labels and parameters.
+
+    Attributes
+    ----------
+    trial_fn:
+        A **top-level** function ``fn(seed, **params) -> dict``.  Top-level
+        because workers receive it by pickled reference (module + qualname);
+        a closure or lambda would fail to cross the process boundary.
+    labels:
+        The sweep-point labels fed into ``settings.trial_seed`` — use exactly
+        the labels a serial ``run_trials`` call would have used so seeds (and
+        therefore records) stay bit-identical.
+    params:
+        Keyword arguments forwarded to ``trial_fn``.  Must be picklable plain
+        data; they are also hashed into the trial's cache key.
+    """
+
+    trial_fn: Callable[..., Dict[str, object]]
+    labels: Tuple[object, ...]
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def point(
+        cls, trial_fn: Callable[..., Dict[str, object]], *labels: object, **params: object
+    ) -> "TrialSpec":
+        """Convenience constructor mirroring ``run_trials(fn, settings, *labels)``."""
+
+        return cls(trial_fn=trial_fn, labels=tuple(labels), params=params)
+
+
+@dataclass
+class ExecutionStats:
+    """Counters the runner maintains across :func:`run_sweep` calls.
+
+    ``executed`` counts trials actually computed (serially or in a worker);
+    ``cache_hits`` / ``cache_misses`` count store lookups when a cache is
+    active.  Callers that want per-phase numbers (the EXPERIMENTS.md
+    generator, tests probing the cache-warm path) snapshot before and after.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def snapshot(self) -> "ExecutionStats":
+        return replace(self)
+
+    def since(self, before: "ExecutionStats") -> "ExecutionStats":
+        return ExecutionStats(
+            executed=self.executed - before.executed,
+            cache_hits=self.cache_hits - before.cache_hits,
+            cache_misses=self.cache_misses - before.cache_misses,
+        )
+
+
+EXECUTION_STATS = ExecutionStats()
+"""Process-global runner counters (incremented in the parent only)."""
+
+
+def _run_unit(unit: Tuple[Callable[..., Dict[str, object]], int, Dict[str, object]]):
+    """Execute one (function, seed, params) work unit; the pool's map target."""
+
+    trial_fn, seed, params = unit
+    return trial_fn(seed, **params)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` where available: cheapest start-up, inherits sys.path."""
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _chunksize(pending: int, jobs: int) -> int:
+    """Batch units per pool task: ~4 chunks per worker amortises IPC without
+    starving the tail (one giant chunk per worker would serialise stragglers)."""
+
+    return max(1, pending // (jobs * 4))
+
+
+def run_sweep(
+    specs: Sequence[TrialSpec],
+    settings: ExperimentSettings,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[TrialCache] = None,
+) -> List[List[Dict[str, object]]]:
+    """Run every spec's trials, parallel and cache-aware; records per spec, in order.
+
+    Parameters
+    ----------
+    specs:
+        The sweep, one :class:`TrialSpec` per point.
+    settings:
+        Supplies ``trials``, the seed derivation, and — unless overridden by
+        the explicit keyword arguments — ``resolved_jobs`` and
+        ``resolved_cache_dir``.
+    jobs:
+        Worker-process count override; ``None`` defers to the settings/env.
+    cache:
+        Trial-store override; ``None`` defers to the settings/env (and no
+        configured directory means caching is off).
+
+    Returns
+    -------
+    ``results[i][t]`` is the record of trial ``t`` of ``specs[i]``, identical
+    field-for-field to what a serial loop would have produced.
+    """
+
+    jobs = settings.resolved_jobs if jobs is None else int(jobs)
+    if jobs < 1:
+        jobs = 1
+    if cache is None:
+        cache_dir = settings.resolved_cache_dir
+        cache = TrialCache(cache_dir) if cache_dir is not None else None
+
+    results: List[List[Optional[Dict[str, object]]]] = [
+        [None] * settings.trials for _ in specs
+    ]
+    # (spec index, trial index, cache key or None, work unit) for every trial
+    # the cache could not serve, in deterministic submission order.
+    pending: List[Tuple[int, int, Optional[str], Tuple]] = []
+    for spec_index, spec in enumerate(specs):
+        for trial_index in range(settings.trials):
+            seed = settings.trial_seed(*spec.labels, trial_index)
+            key: Optional[str] = None
+            if cache is not None:
+                key = trial_key(spec.trial_fn, spec.labels, seed, spec.params)
+                record = cache.get(key)
+                if record is not None:
+                    EXECUTION_STATS.cache_hits += 1
+                    results[spec_index][trial_index] = record
+                    continue
+                EXECUTION_STATS.cache_misses += 1
+            pending.append(
+                (spec_index, trial_index, key, (spec.trial_fn, seed, dict(spec.params)))
+            )
+
+    if pending:
+        workers = min(jobs, len(pending))
+
+        def collect(records) -> None:
+            # Count, store, and cache each record as it arrives (pool.map
+            # yields in submission order as chunks complete), so an
+            # interrupted sweep keeps — and counts — exactly the trials that
+            # finished before the interruption: the "resume an interrupted
+            # sweep" promise of the trial cache, with `executed` staying
+            # truthful for stats consumers that span a failed run.
+            for (spec_index, trial_index, key, _), record in zip(pending, records):
+                EXECUTION_STATS.executed += 1
+                results[spec_index][trial_index] = record
+                if cache is not None and key is not None:
+                    cache.put(key, record)
+
+        if workers <= 1:
+            collect(_run_unit(unit) for _, _, _, unit in pending)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                collect(
+                    pool.map(
+                        _run_unit,
+                        [unit for _, _, _, unit in pending],
+                        chunksize=_chunksize(len(pending), workers),
+                    )
+                )
+
+    return results  # type: ignore[return-value] - every slot is filled above
+
+
+def run_point(
+    trial_fn: Callable[..., Dict[str, object]],
+    settings: ExperimentSettings,
+    *labels: object,
+    **params: object,
+) -> List[Dict[str, object]]:
+    """Run one sweep point's trials through the runner (drop-in for ``run_trials``)."""
+
+    return run_sweep([TrialSpec.point(trial_fn, *labels, **params)], settings)[0]

@@ -36,7 +36,10 @@ run_step() {
     fi
 }
 
-run_step "tier-1 test suite" python -m pytest -x -q
+# The test suite must behave identically everywhere, so the runner's env
+# knobs (REPRO_JOBS / REPRO_CACHE_DIR — which CI sets for the benchmark
+# smokes below) are stripped here: tests choose jobs/cache explicitly.
+run_step "tier-1 test suite" env -u REPRO_JOBS -u REPRO_CACHE_DIR python -m pytest -x -q
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
@@ -45,6 +48,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
         --benchmark-only --benchmark-disable-gc -q
 
     run_step "mobile-jammer benchmark smoke" python benchmarks/bench_mobile_jammer.py --smoke
+
+    run_step "parallel-harness benchmark smoke (jobs fan-out + trial cache)" \
+        python benchmarks/bench_parallel_harness.py --smoke
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
