@@ -1,0 +1,41 @@
+"""Benchmark E13 — quiet-rule ablation (termination policies on sparse graphs).
+
+The acceptance checks guard both quiet-rule misfire directions at once:
+sub-threshold cost must stay within 2× of the uniform retry-cap reference
+(and far below the paper rule's run-to-the-cap blowup), while near-threshold
+delivery-vs-reachable must stay ≈ 1 — which the uniform cap destroys.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+
+def test_e13_quiet_rule_ablation(benchmark):
+    result = run_and_report(benchmark, "E13")
+    summaries = result.summaries
+
+    # Direction 2 (sub-threshold blowup): no retry cap configured, yet the
+    # degree-aware default lands within 2x of the constant-R reference and
+    # multiples below the paper rule.
+    assert summaries["sub_cost_degree_vs_constant"] <= 2.0
+    assert summaries["sub_cost_paper_vs_degree"] >= 4.0
+
+    # Direction 1 (near-threshold early give-up): delivery-vs-reachable stays
+    # high under the degree-aware rule, far above the uniform cap, and within
+    # a hair of the paper rule wherever the paper rule does not dip itself.
+    # The absolute floor is profile-dependent (the n=256 E13 draws are
+    # cap-bound harder graphs where even never-give-up tops out below 1), so
+    # the gate is primarily relative.
+    assert summaries["near_dvr_degree"] >= 0.85
+    assert summaries["near_dvr_degree"] >= summaries["near_dvr_constant"] + 0.2
+    assert summaries["near_dvr_degree"] >= summaries["near_dvr_paper"] - 0.03
+
+    # Sub-threshold reachable nodes (Alice's own small components) are never
+    # starved: the source-neighbourhood protection keeps them patient.
+    sub_degree = [
+        row
+        for row in result.rows
+        if row["scenario"].startswith("sub") and "default" in row["rule"]
+    ]
+    assert sub_degree and all(row["delivery_vs_reachable"] >= 0.99 for row in sub_degree)

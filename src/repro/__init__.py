@@ -15,23 +15,29 @@ The package is organised in four layers:
 """
 
 from .core.api import make_adversary, run_broadcast
-from .core.broadcast import EpsilonBroadcast
+from .core.broadcast import EpsilonBroadcast, MultiHopBroadcast
 from .core.decoy import DecoyBroadcast
 from .core.estimation import SizeEstimateBroadcast
 from .core.general_k import GeneralKBroadcast
 from .core.outcome import BroadcastOutcome
 from .core.params import ProtocolParameters
+from .core.quietrule import ConstantQuietRule, DegreeAwareQuietRule, PaperQuietRule, QuietRule
 from .simulation.config import SimulationConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BroadcastOutcome",
+    "ConstantQuietRule",
     "DecoyBroadcast",
+    "DegreeAwareQuietRule",
     "EpsilonBroadcast",
     "GeneralKBroadcast",
     "make_adversary",
+    "MultiHopBroadcast",
+    "PaperQuietRule",
     "ProtocolParameters",
+    "QuietRule",
     "run_broadcast",
     "SimulationConfig",
     "SizeEstimateBroadcast",

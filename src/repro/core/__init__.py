@@ -2,13 +2,20 @@
 
 from .alice import AlicePolicy
 from .api import ADVERSARY_CATALOGUE, PROTOCOL_VARIANTS, make_adversary, run_broadcast
-from .broadcast import EpsilonBroadcast
+from .broadcast import EpsilonBroadcast, MultiHopBroadcast
 from .decoy import DecoyBroadcast
 from .estimation import SizeEstimateBroadcast
 from .general_k import GeneralKBroadcast
 from .outcome import BroadcastOutcome
 from .params import ProtocolParameters
 from .phases import ScheduleBuilder
+from .quietrule import (
+    ConstantQuietRule,
+    DegreeAwareQuietRule,
+    PaperQuietRule,
+    QuietRule,
+    resolve_quiet_rule,
+)
 from .receiver import ReceiverPolicy
 from .state import NodeStatus, ProtocolState
 from .termination import RequestPhaseDecision, apply_request_phase
@@ -18,16 +25,22 @@ __all__ = [
     "AlicePolicy",
     "apply_request_phase",
     "BroadcastOutcome",
+    "ConstantQuietRule",
     "DecoyBroadcast",
+    "DegreeAwareQuietRule",
     "EpsilonBroadcast",
     "GeneralKBroadcast",
     "make_adversary",
+    "MultiHopBroadcast",
     "NodeStatus",
+    "PaperQuietRule",
     "PROTOCOL_VARIANTS",
     "ProtocolParameters",
     "ProtocolState",
+    "QuietRule",
     "ReceiverPolicy",
     "RequestPhaseDecision",
+    "resolve_quiet_rule",
     "run_broadcast",
     "ScheduleBuilder",
     "SizeEstimateBroadcast",

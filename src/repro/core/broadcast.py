@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 from ..adversary.base import Adversary
 from ..adversary.none import NullAdversary
 from ..simulation.clock import SlotClock
@@ -35,6 +37,7 @@ from .alice import AlicePolicy
 from .outcome import BroadcastOutcome
 from .params import ProtocolParameters
 from .phases import ScheduleBuilder
+from .quietrule import QuietRule, resolve_quiet_rule
 from .receiver import ReceiverPolicy
 from .state import NodeStatus, ProtocolState
 from .termination import apply_request_phase
@@ -374,36 +377,42 @@ class MultiHopBroadcast(EpsilonBroadcast):
     On a single-hop topology every rule above degenerates to the base
     protocol (a clique relay retires after one step because every neighbour
     is informed), and this class defers to :class:`EpsilonBroadcast` outright
-    to keep outcomes bit-identical.
+    to keep outcomes bit-identical — the quiet rule is never consulted there.
 
     Parameters
     ----------
+    quiet_rule:
+        The request-phase termination policy for uninformed nodes — a
+        :class:`~repro.core.quietrule.QuietRule`, a rule name (``"paper"``,
+        ``"constant"``, ``"degree-aware"``), or ``None`` for the default
+        :class:`~repro.core.quietrule.DegreeAwareQuietRule`.  The paper's
+        channel-quiet test was calibrated for one shared channel and misfires
+        in both directions on sparse topologies (early give-up inside Alice's
+        component, run-to-the-cap mutual sustain in Alice-less components);
+        see :mod:`repro.core.quietrule` for the policy catalogue.
     max_quiet_retries:
-        Retry cap on the request-phase quiet rule.  The rule was calibrated
-        for one shared channel — a node stops once a request phase sounds
-        quiet — and misfires on sparse topologies: in Alice-less multi-node
-        components nodes keep hearing each other's nacks, never see a quiet
-        phase, and (because the rule is not even consulted before the
-        earliest reliable termination round, near the round cap) run to the
-        cap, overspending their budgets by orders of magnitude (the
-        sub-threshold ``mean_node_cost`` blowup of E11).  With a cap, an
-        uninformed node that has gone through this many request phases
-        without receiving the message gives up regardless of what it heard.
-        Every active uninformed node participates in every request phase, so
-        the cap is applied uniformly.  The default ``None`` keeps the
-        paper's rule exactly (bit-identical outcomes), and single-hop runs
-        never consult it.
+        Deprecated alias for
+        ``quiet_rule=ConstantQuietRule(retries=max_quiet_retries)`` — the
+        paper's rule plus a uniform budget of that many request phases,
+        bit-identical to the old run-level retry cap.  Cannot be combined
+        with an explicit ``quiet_rule``.
     """
 
     protocol_name = "multihop-epsilon-broadcast"
 
-    def __init__(self, *args, max_quiet_retries: Optional[int] = None, **kwargs) -> None:
-        if max_quiet_retries is not None and max_quiet_retries < 1:
-            raise ConfigurationError(
-                f"max_quiet_retries must be a positive integer or None, got {max_quiet_retries}"
-            )
+    def __init__(
+        self,
+        *args,
+        quiet_rule: Optional[QuietRule | str] = None,
+        max_quiet_retries: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        self.quiet_rule = resolve_quiet_rule(quiet_rule, max_quiet_retries)
         self.max_quiet_retries = max_quiet_retries
-        self._quiet_rule_evaluations = 0
+        # Budgets are a pure function of the realised topology (fixed for the
+        # orchestrator's lifetime); resolved lazily so single-hop runs — which
+        # never consult the rule — skip the neighbourhood statistics.
+        self._quiet_budgets: Optional[np.ndarray] = None
         super().__init__(*args, **kwargs)
 
     def _apply_result(
@@ -429,8 +438,9 @@ class MultiHopBroadcast(EpsilonBroadcast):
                 self.alice_policy,
                 self.receiver_policy,
                 round_index,
+                node_channel_test=self.quiet_rule.channel_quiet_test,
             )
-            self._apply_quiet_retry_cap(state, round_index)
+            self._apply_quiet_rule(state, round_index)
 
         if plan.kind in (PhaseKind.PROPAGATION, PhaseKind.REQUEST):
             # Multi-hop relay retirement: a relay stays active while it still
@@ -439,25 +449,38 @@ class MultiHopBroadcast(EpsilonBroadcast):
             # up).
             self._retire_satisfied_relays(state, round_index)
 
-    def _apply_quiet_retry_cap(self, state: ProtocolState, round_index: int) -> None:
-        """Give up after ``max_quiet_retries`` request phases without the message.
+    def _quiet_rule_budgets(self) -> np.ndarray:
+        if self._quiet_budgets is None:
+            self._quiet_budgets = self.quiet_rule.budgets(self.network.topology)
+        return self._quiet_budgets
 
-        Each round has exactly one request phase and every active uninformed
-        node takes part in it, so one run-level counter *is* the per-node
-        retry count.  Once it reaches the cap, every still-active uninformed
-        node terminates, exactly as if its channel had finally gone quiet —
-        which is what stops Alice-less components (whose channels never go
-        quiet) well short of the round cap.
+    def _apply_quiet_rule(self, state: ProtocolState, round_index: int) -> None:
+        """Give up once a node's quiet/nack-only streak exhausts its budget.
+
+        Every request phase an uninformed node completes is quiet or
+        nack-only (the message never travels in a request phase), so the
+        per-node streak in :class:`~repro.core.state.ProtocolState` counts
+        exactly the futile phases the node has sat through.  Budgets come
+        from the configured :class:`~repro.core.quietrule.QuietRule` —
+        vectorised over the whole cohort via the topology's cached
+        degree/neighbourhood arrays, and evaluated after the channel-quiet
+        test so a constant budget reproduces the old retry cap bit for bit.
+        The counters live on the per-run state, so a reused orchestrator
+        starts every run from a zero streak.  A rule with no finite budget
+        anywhere (e.g. the paper rule) skips the bookkeeping entirely — the
+        streaks stay zero and the per-phase cohort scan is never paid.
         """
 
-        if self.max_quiet_retries is None:
+        budgets = self._quiet_rule_budgets()
+        if not np.isfinite(budgets).any():
             return
-        self._quiet_rule_evaluations += 1
-        if self._quiet_rule_evaluations < self.max_quiet_retries:
+        active = state.active_uninformed_array()
+        if active.size == 0:
             return
-        lingering = state.active_uninformed()
-        if lingering:
-            state.terminate_uninformed(lingering, round_index)
+        streaks = state.record_unserved_request_phase(active)
+        exhausted = active[streaks[active] >= budgets[active]]
+        if exhausted.size:
+            state.terminate_uninformed((int(node) for node in exhausted), round_index)
 
     def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
         topology = self.network.topology

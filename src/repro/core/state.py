@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Optional, Set
 
+import numpy as np
+
 from ..simulation.errors import ProtocolViolationError
 
 __all__ = ["NodeStatus", "ProtocolState"]
@@ -51,10 +53,18 @@ class ProtocolState:
     terminated_at_round: Dict[int, int] = field(default_factory=dict)
     alice_terminated: bool = False
     alice_terminated_at_round: Optional[int] = None
+    # Per-node quiet-rule retry state: quiet_streaks[i] counts the request
+    # phases node i has completed while still uninformed (every one of them
+    # is quiet or nack-only — a request phase never carries the message).
+    # Living on the per-run state, the counters reset with every run by
+    # construction; a reused orchestrator cannot leak a previous run's count.
+    quiet_streaks: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not self.statuses:
             self.statuses = {node_id: NodeStatus.UNINFORMED for node_id in range(self.n)}
+        if self.quiet_streaks is None:
+            self.quiet_streaks = np.zeros(self.n, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Queries                                                             #
@@ -78,6 +88,33 @@ class ProtocolState:
         return frozenset(
             node_id for node_id, status in self.statuses.items() if status is NodeStatus.INFORMED
         )
+
+    def active_uninformed_array(self) -> np.ndarray:
+        """:meth:`active_uninformed` as a sorted ``int64`` array.
+
+        The vectorised view the quiet-rule machinery indexes budget and
+        streak arrays with; sorted so downstream termination order is
+        deterministic.
+        """
+
+        return np.fromiter(
+            (
+                node_id
+                for node_id in range(self.n)
+                if self.statuses[node_id] is NodeStatus.UNINFORMED
+            ),
+            dtype=np.int64,
+        )
+
+    def record_unserved_request_phase(self, node_ids: np.ndarray) -> np.ndarray:
+        """Bump the quiet streak of every node in ``node_ids``; returns the array.
+
+        Called once per request phase with the still-uninformed cohort; the
+        returned array is the live per-node streak state (indexed by node id).
+        """
+
+        self.quiet_streaks[node_ids] += 1
+        return self.quiet_streaks
 
     def informed_count(self) -> int:
         return sum(1 for status in self.statuses.values() if status.is_informed)

@@ -49,6 +49,7 @@ def apply_request_phase(
     alice_policy: AlicePolicy,
     receiver_policy: ReceiverPolicy,
     round_index: int,
+    node_channel_test: bool = True,
 ) -> RequestPhaseDecision:
     """Apply the request-phase termination rules and mutate ``state``.
 
@@ -57,15 +58,22 @@ def apply_request_phase(
     channel looked quiet.  Alice does the same with her own count.  Nodes that
     hold the message have already terminated at the end of the propagation
     phase, so they take no part here.
+
+    ``node_channel_test=False`` skips the node-side quiet test while keeping
+    Alice's: the global threshold presumes a Θ(n) audible population, and the
+    multi-hop orchestrator disables it when a
+    :class:`~repro.core.quietrule.QuietRule` replaces it with per-node
+    budgets (Alice's own termination rule is out of that rule's scope).
     """
 
     threshold = receiver_policy.termination_threshold()
     terminating: Set[int] = set()
     active = state.active_uninformed()
-    for node_id in active:
-        heard = result.node_noisy_heard.get(node_id, 0)
-        if receiver_policy.should_terminate(heard, round_index):
-            terminating.add(node_id)
+    if node_channel_test:
+        for node_id in active:
+            heard = result.node_noisy_heard.get(node_id, 0)
+            if receiver_policy.should_terminate(heard, round_index):
+                terminating.add(node_id)
     if terminating:
         state.terminate_uninformed(terminating, round_index)
 
@@ -81,5 +89,5 @@ def apply_request_phase(
         alice_terminated=alice_terminates,
         alice_noisy_heard=result.alice_noisy_heard,
         threshold=threshold,
-        nodes_evaluated=len(active),
+        nodes_evaluated=len(active) if node_channel_test else 0,
     )

@@ -30,18 +30,22 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["CACHE_VERSION", "stable_token", "trial_key", "TrialCache"]
+__all__ = ["CACHE_VERSION", "stable_token", "trial_key", "TrialCache", "PruneStats"]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 """Salt mixed into every trial key.
 
 Bump this whenever a change alters what any trial computes (engine semantics,
 protocol rules, record contents) without necessarily changing the trial
 function's signature; existing stores then read as empty instead of serving
 stale records.
+
+Version history: 2 — the multi-hop request-phase quiet rule became per-node
+and degree-aware by default (E11/E13 trial records changed).
 """
 
 
@@ -152,5 +156,114 @@ class TrialCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+    ) -> "PruneStats":
+        """Evict entries so the store stops growing without bound.
+
+        Two independent criteria, either or both of which may be given:
+
+        * ``max_age_days`` — entries whose mtime is older than this are
+          removed outright (a record that has not been touched in weeks
+          belongs to a sweep nobody re-runs);
+        * ``max_bytes`` — after the age pass, entries are kept newest-mtime
+          first until the byte budget is exhausted and the rest are evicted
+          (LRU by mtime: :meth:`get` hits refresh an entry's mtime, so
+          recently *served* records survive, not just recently written ones).
+
+        Eviction is best-effort and concurrency-safe: an entry that vanishes
+        mid-scan (another pruner, a writer's rename) is simply skipped, and
+        losing a race deletes at worst one reproducible record.  Empty shard
+        directories are removed.  Returns a :class:`PruneStats` summary.
+        """
+
+        if max_bytes is None and max_age_days is None:
+            raise ValueError("prune needs max_bytes and/or max_age_days")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(f"max_age_days must be non-negative, got {max_age_days}")
+
+        entries = []
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        scanned = len(entries)
+        scanned_bytes = sum(size for _, size, _ in entries)
+
+        doomed = []
+        if max_age_days is not None:
+            horizon = time.time() - max_age_days * 86400.0
+            doomed = [entry for entry in entries if entry[0] < horizon]
+            entries = [entry for entry in entries if entry[0] >= horizon]
+        if max_bytes is not None:
+            entries.sort(key=lambda entry: entry[0], reverse=True)  # newest first
+            kept_bytes = 0
+            for index, (mtime, size, path) in enumerate(entries):
+                if kept_bytes + size > max_bytes:
+                    doomed.extend(entries[index:])
+                    entries = entries[:index]
+                    break
+                kept_bytes += size
+
+        removed = removed_bytes = 0
+        for _, size, path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            removed_bytes += size
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return PruneStats(
+            scanned=scanned,
+            scanned_bytes=scanned_bytes,
+            removed=removed,
+            removed_bytes=removed_bytes,
+        )
+
+    def touch(self, key: str) -> None:
+        """Refresh an entry's mtime (called by cache hits to keep LRU honest)."""
+
+        try:
+            os.utime(self.path_for(key))
+        except OSError:
+            pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TrialCache(root={str(self.root)!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneStats:
+    """Summary of one :meth:`TrialCache.prune` pass."""
+
+    scanned: int
+    scanned_bytes: int
+    removed: int
+    removed_bytes: int
+
+    @property
+    def kept(self) -> int:
+        return self.scanned - self.removed
+
+    @property
+    def kept_bytes(self) -> int:
+        return self.scanned_bytes - self.removed_bytes
+
+    def describe(self) -> str:
+        return (
+            f"pruned {self.removed}/{self.scanned} entries "
+            f"({self.removed_bytes} of {self.scanned_bytes} bytes); "
+            f"{self.kept} entries ({self.kept_bytes} bytes) kept"
+        )

@@ -17,10 +17,10 @@ graph at equal spend caps and measures where the budget goes:
   (:class:`~repro.adversary.mobility.ReactiveDiskJammer`) re-centring each
   phase on the densest cluster of active uninformed listeners.
 
-Runs use the new ``max_quiet_retries`` knob so they end while jamming still
-binds (otherwise every scenario trivially ends at full delivery once the
-budget dies and the metrics cannot discriminate).  Two headline metrics at
-equal spend caps:
+Runs use a fixed ``ConstantQuietRule`` horizon (the ``max_quiet_retries``
+spelling) so they end while jamming still binds (otherwise every scenario
+trivially ends at full delivery once the budget dies and the metrics cannot
+discriminate).  Two headline metrics at equal spend caps:
 
 * ``delivery_per_mspend`` — the victimised network's delivery fraction per
   thousand units of Carol's spend.  Disk jamming is full-phase denial, so a
@@ -71,9 +71,11 @@ CLAIM = (
 )
 
 QUIET_RETRIES = 6
-"""Request-phase retry cap used by every E12 run: ends the run while jamming
-still binds, so the delivery metrics can discriminate between strategies
-(and exercises the new ``max_quiet_retries`` knob)."""
+"""Request-phase retry horizon used by every E12 run (a uniform
+``ConstantQuietRule``): ends the run while jamming still binds, so the
+delivery metrics can discriminate between strategies over one bounded
+window.  A fixed horizon — not the degree-aware default — keeps every
+scenario's window identical."""
 
 JAM_RADIUS = 0.25
 """Disk radius shared by every scenario (the E11 default)."""

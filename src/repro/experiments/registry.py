@@ -1,6 +1,6 @@
 """Experiment registry.
 
-Maps experiment ids (E1 … E12) to their runner functions so the benchmark
+Maps experiment ids (E1 … E13) to their runner functions so the benchmark
 harness, the examples, and EXPERIMENTS.md generation can iterate over every
 reproduced claim uniformly.
 """
@@ -20,6 +20,7 @@ from . import (
     exp_load_balance,
     exp_mobile_jammer,
     exp_multihop,
+    exp_quiet_rule,
     exp_reactive,
     exp_size_estimate,
     exp_spoofing,
@@ -52,6 +53,7 @@ _MODULES = [
     exp_spoofing,
     exp_multihop,
     exp_mobile_jammer,
+    exp_quiet_rule,
 ]
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

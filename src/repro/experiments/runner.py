@@ -175,6 +175,9 @@ def run_sweep(
                 record = cache.get(key)
                 if record is not None:
                     EXECUTION_STATS.cache_hits += 1
+                    # Refresh the entry's mtime so prune()'s LRU order keeps
+                    # recently *served* records, not just recently written ones.
+                    cache.touch(key)
                     results[spec_index][trial_index] = record
                     continue
                 EXECUTION_STATS.cache_misses += 1

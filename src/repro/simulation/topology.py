@@ -557,6 +557,13 @@ class Topology(abc.ABC):
         if n < 1:
             raise ConfigurationError(f"topology needs at least one node, got n={n}")
         self.n = n
+        # Degree/neighbourhood statistics are pure functions of the immutable
+        # realised graph, and the termination rules consult them once per
+        # request phase — memoise them (read-only, so a cached array cannot
+        # be corrupted through an aliased reference).
+        self._degrees_cache: Optional[np.ndarray] = None
+        self._neighborhood_size_cache: dict = {}
+        self._alice_within_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # Core audibility interface                                           #
@@ -730,14 +737,142 @@ class Topology(abc.ABC):
         Shape ``(n,)``, dtype ``int64``, indexed by node id; Alice's row is
         excluded from the output and her column from every count (the
         **Alice-exclusion convention** shared by the component statistics).
+        Cached on first call (the graph is immutable); the returned array is
+        read-only.
         """
 
+        if self._degrees_cache is None:
+            degrees = self._compute_degrees()
+            degrees.setflags(write=False)
+            self._degrees_cache = degrees
+        return self._degrees_cache
+
+    def _compute_degrees(self) -> np.ndarray:
         csr = self.neighbor_csr()
         node_edge = csr.indices < self.n
         cumulative = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(node_edge, dtype=np.int64)]
         )
         return cumulative[csr.indptr[1 : self.n + 1]] - cumulative[csr.indptr[: self.n]]
+
+    def neighborhood_sizes(self, hops: int = 1, cap: Optional[int] = None) -> np.ndarray:
+        """Number of devices within ``hops`` edges of each node (self excluded).
+
+        Shape ``(n,)``, dtype ``int64``, indexed by node id.  Unlike
+        :meth:`degrees`, **Alice counts as a device** here: this statistic
+        feeds the degree-aware termination rules, and a node whose only radio
+        neighbour is Alice has a live neighbourhood, not an empty one.
+
+        ``hops=1`` is the device degree; larger ``hops`` give the size of the
+        hop-ball, the locally-observable quantity that separates a
+        sub-critical component (ball bounded by the component) from the giant
+        component (ball ≈ degree × mean degree per extra hop) in the
+        Gilbert-graph sparse regime of arXiv:1312.4861.  Computed by chunked
+        CSR neighbourhood expansion — no Python loop per node — and cached
+        per ``(hops, cap)``.
+
+        ``cap`` saturates the count: values below ``cap`` are exact, values
+        at or above ``cap`` only promise "at least ``cap``" (the true ball
+        may be larger).  Callers that merely threshold the ball — the
+        degree-aware quiet rule's super-critical cut — pass their threshold
+        here, which lets nodes stop expanding the moment they clear it and
+        keeps the large-``n`` cost at ``O(n · cap · E[deg])`` instead of
+        walking every giant-component ball to completion.
+        """
+
+        if hops < 1:
+            raise ConfigurationError(f"neighborhood_sizes needs hops >= 1, got {hops}")
+        if cap is not None and cap < 1:
+            raise ConfigurationError(f"neighborhood_sizes cap must be >= 1, got {cap}")
+        key = (hops, cap)
+        cached = self._neighborhood_size_cache.get(key)
+        if cached is None:
+            cached = self._compute_neighborhood_sizes(hops, cap)
+            cached.setflags(write=False)
+            self._neighborhood_size_cache[key] = cached
+        return cached
+
+    def alice_within(self, hops: int = 1) -> np.ndarray:
+        """Per-node boolean: is Alice within ``hops`` edges of the node?
+
+        Shape ``(n,)``, dtype ``bool``, cached per ``hops``.  One BFS from
+        Alice's row answers the query for every node at once — O(edges within
+        ``hops`` of Alice) regardless of how large other neighbourhoods are.
+        The degree-aware termination rules treat a neighbourhood containing
+        the source as super-critical regardless of size: a node that knows
+        Alice is ``hops`` edges away is reachable by construction and must
+        not give up while the relay frontier closes those last hops.
+        """
+
+        if hops < 1:
+            raise ConfigurationError(f"alice_within needs hops >= 1, got {hops}")
+        cached = self._alice_within_cache.get(hops)
+        if cached is None:
+            cached = self._compute_alice_within(hops)
+            cached.setflags(write=False)
+            self._alice_within_cache[hops] = cached
+        return cached
+
+    def _compute_alice_within(self, hops: int) -> np.ndarray:
+        csr = self.neighbor_csr()
+        within = np.zeros(self.n, dtype=bool)
+        frontier = csr.row(self.n).astype(np.int64, copy=False)
+        frontier = frontier[frontier < self.n]
+        for _ in range(hops):
+            frontier = frontier[~within[frontier]]
+            if frontier.size == 0:
+                break
+            within[frontier] = True
+            _, nbrs = csr.expand(frontier)
+            frontier = np.unique(nbrs[nbrs < self.n])
+        return within
+
+    def _compute_neighborhood_sizes(self, hops: int, cap: Optional[int] = None) -> np.ndarray:
+        csr = self.neighbor_csr()
+        m = self.n + 1
+        degrees = np.diff(csr.indptr)[: self.n].astype(np.int64, copy=True)
+        if hops == 1:
+            return degrees
+        if cap is None:
+            pending = np.arange(self.n, dtype=np.int64)
+        else:
+            # One hop already proves `degree` members: only nodes still below
+            # the cap need deeper expansion.  In a super-critical graph this
+            # prunes almost everyone after the degree check alone.
+            pending = np.flatnonzero(degrees < cap)
+        sizes = degrees
+        # Per-chunk boolean membership masks sidestep any sorting: marking a
+        # candidate is a fancy-index write and the next frontier falls out of
+        # an xor against the pre-expansion mask.  The chunk size caps the
+        # mask at ~2^25 cells, so memory stays ~32 MiB however large n gets.
+        chunk = max(64, min(2048, (1 << 25) // m))
+        for start in range(0, pending.size, chunk):
+            rows = pending[start : start + chunk]
+            size = rows.size
+            ball = np.zeros((size, m), dtype=bool)
+            ball[np.arange(size), rows] = True  # {self}; excluded at the end
+            frontier_origin = np.arange(size, dtype=np.int64)
+            frontier_row = rows
+            for hop in range(hops):
+                origins, nbrs = csr.expand(frontier_row)
+                origins = frontier_origin[origins]
+                before = ball.copy()
+                ball[origins, nbrs] = True
+                frontier_origin, frontier_row = np.nonzero(ball & ~before)
+                if frontier_origin.size == 0:
+                    break
+                if cap is not None and hop + 1 < hops:
+                    # Origins that already cleared the cap stop expanding:
+                    # their reported size saturates at "at least cap".
+                    counts = ball.sum(axis=1, dtype=np.int64) - 1
+                    active = counts[frontier_origin] < cap
+                    frontier_origin = frontier_origin[active]
+                    frontier_row = frontier_row[active]
+                    if frontier_origin.size == 0:
+                        break
+            # Minus one per origin: the node itself is not its own neighbour.
+            sizes[rows] = ball.sum(axis=1, dtype=np.int64) - 1
+        return sizes
 
     def _node_frontier_bfs(self, start_rows: np.ndarray, seen: np.ndarray) -> np.ndarray:
         """Rows of nodes reachable from ``start_rows`` over node-node edges."""
@@ -849,8 +984,16 @@ class SingleHop(Topology):
             [bool(members - {self._index(int(d))}) for d in device_ids], dtype=bool
         )
 
-    def degrees(self) -> np.ndarray:
+    def _compute_degrees(self) -> np.ndarray:
         return np.full(self.n, self.n - 1, dtype=np.int64)
+
+    def _compute_neighborhood_sizes(self, hops: int, cap: Optional[int] = None) -> np.ndarray:
+        # Every other device (n - 1 nodes plus Alice) is one hop away; no
+        # need to materialise the Θ(n²) clique CSR to know that.
+        return np.full(self.n, self.n, dtype=np.int64)
+
+    def _compute_alice_within(self, hops: int) -> np.ndarray:
+        return np.ones(self.n, dtype=bool)
 
     def connected_components(self) -> List[FrozenSet[int]]:
         return [frozenset(range(self.n))]
@@ -1099,10 +1242,10 @@ class _SpatialTopology(Topology):
         inside.sort()
         return inside
 
-    def degrees(self) -> np.ndarray:
+    def _compute_degrees(self) -> np.ndarray:
         if self._adjacency is not None:
             return self._adjacency[: self.n, : self.n].sum(axis=1).astype(np.int64)
-        return super().degrees()
+        return super()._compute_degrees()
 
 
 def _sample_positions(n: int, rng: np.random.Generator, alice_placement: str) -> np.ndarray:

@@ -135,7 +135,7 @@ class TestWorkloads:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 13)]
+        assert experiment_ids() == [f"E{i}" for i in range(1, 14)]
         for spec in EXPERIMENTS.values():
             assert spec.title and spec.claim
 
@@ -158,6 +158,25 @@ class TestRegistry:
         assert result.experiment_id == "E10"
         assert len(result.rows) >= 3
         assert all(row["delivery_fraction"] == pytest.approx(1.0) for row in result.rows)
+
+    def test_quiet_rule_ablation_runs_end_to_end(self):
+        settings = ExperimentSettings(n=96, trials=1, quick=True, seed=2012)
+        result = run_experiment("E13", settings)
+        assert result.experiment_id == "E13"
+        rules = {row["rule"] for row in result.rows}
+        assert {"paper", "constant R=6", "degree hops=1", "degree-aware (default)"} == rules
+        # Paired seeds: every rule sees the same realised graphs, so the
+        # reachable fraction is constant within a scenario.
+        for scenario in {row["scenario"] for row in result.rows}:
+            fractions = {
+                row["reachable_fraction"]
+                for row in result.rows
+                if row["scenario"] == scenario
+            }
+            assert len(fractions) == 1
+        # The E13 acceptance summaries guard both misfire directions.
+        assert result.summaries["sub_cost_degree_vs_constant"] <= 2.0
+        assert result.summaries["near_dvr_degree"] >= 0.97
 
     def test_mobile_jammer_experiment_runs_end_to_end(self):
         settings = ExperimentSettings(n=128, trials=2, quick=True, seed=3)

@@ -342,6 +342,8 @@ class TestObservePhaseForwarding:
 
 
 class TestMaxQuietRetries:
+    """The deprecated ``max_quiet_retries`` alias (now a ConstantQuietRule)."""
+
     FRAGMENTED = dict(
         n=96,
         seed=11,
@@ -355,24 +357,27 @@ class TestMaxQuietRetries:
         config = SimulationConfig(n=16, seed=1, topology=GILBERT)
         with pytest.raises(ConfigurationError):
             MultiHopBroadcast(config, max_quiet_retries=0)
+        with pytest.raises(ConfigurationError):
+            MultiHopBroadcast(config, max_quiet_retries=4, quiet_rule="paper")
 
-    def test_unreached_cap_is_bit_identical_to_default(self):
-        """The cap only *adds* a termination rule; a never-reached cap must
-        not perturb anything (same rng draws, same outcomes)."""
+    def test_unreached_cap_is_bit_identical_to_paper_rule(self):
+        """The cap only *adds* a termination rule to the paper's quiet test;
+        a never-reached cap must not perturb anything (same rng draws, same
+        outcomes)."""
 
-        default = run_broadcast(**self.FRAGMENTED)
+        paper = run_broadcast(**self.FRAGMENTED, quiet_rule="paper")
         capped = run_broadcast(**self.FRAGMENTED, max_quiet_retries=99)
-        assert capped.delivery.slots_elapsed == default.delivery.slots_elapsed
-        assert capped.delivery.informed == default.delivery.informed
-        assert capped.mean_node_cost == default.mean_node_cost
-        assert capped.alice_cost == default.alice_cost
+        assert capped.delivery.slots_elapsed == paper.delivery.slots_elapsed
+        assert capped.delivery.informed == paper.delivery.informed
+        assert capped.mean_node_cost == paper.mean_node_cost
+        assert capped.alice_cost == paper.alice_cost
 
     def test_cap_stops_alice_less_components_early(self):
-        """The E11 sub-threshold cost blowup: Alice-less components hear each
-        other's nacks forever; the retry cap ends them orders of magnitude
-        sooner without changing what is deliverable."""
+        """The E11 sub-threshold cost blowup: under the paper rule Alice-less
+        components hear each other's nacks forever; the retry cap ends them
+        orders of magnitude sooner without changing what is deliverable."""
 
-        uncapped = run_broadcast(**self.FRAGMENTED)
+        uncapped = run_broadcast(**self.FRAGMENTED, quiet_rule="paper")
         capped = run_broadcast(**self.FRAGMENTED, max_quiet_retries=4)
         assert capped.mean_node_cost < 0.1 * uncapped.mean_node_cost
         assert capped.delivery.slots_elapsed < uncapped.delivery.slots_elapsed

@@ -43,8 +43,9 @@ run_step "tier-1 test suite" env -u REPRO_JOBS -u REPRO_CACHE_DIR python -m pyte
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
-        run_step "quick-mode benchmark smoke (E2 delivery + E11 multihop)" \
+        run_step "quick-mode benchmark smoke (E2 delivery + E11 multihop + E13 quiet rule)" \
         python -m pytest benchmarks/bench_delivery.py benchmarks/bench_multihop.py \
+        benchmarks/bench_quiet_rule.py \
         --benchmark-only --benchmark-disable-gc -q
 
     run_step "mobile-jammer benchmark smoke" python benchmarks/bench_mobile_jammer.py --smoke
