@@ -44,6 +44,7 @@ from repro.adversary import (
     WaypointPatrol,
 )
 from repro.core.broadcast import MultiHopBroadcast
+from repro.core.quietrule import ConstantQuietRule
 from repro.experiments.exp_mobile_jammer import JAM_RADIUS, victim_metrics
 from repro.simulation import SimulationConfig, TopologySpec
 from repro.simulation.topology import gilbert_connectivity_radius
@@ -55,8 +56,14 @@ def run_one(n: int, seed: int, adversary, retries: int, engine: str = "fast") ->
     spec = TopologySpec.gilbert(radius=2.0 * gilbert_connectivity_radius(n), sparse=True)
     config = SimulationConfig(n=n, seed=seed, topology=spec)
     adversary.max_total_spend = 0.5 * config.adversary_total_budget
+    # pipeline=False: like exp_mobile_jammer, the sweeps compare adversaries
+    # at equal (binding) spend caps, which needs the fixed-length schedule.
     protocol = MultiHopBroadcast(
-        config, adversary=adversary, engine=engine, max_quiet_retries=retries
+        config,
+        adversary=adversary,
+        engine=engine,
+        quiet_rule=ConstantQuietRule(retries=retries),
+        pipeline=False,
     )
     start = time.perf_counter()
     outcome = protocol.run()

@@ -22,13 +22,16 @@ def test_e13_quiet_rule_ablation(benchmark):
     assert summaries["sub_cost_paper_vs_degree"] >= 4.0
 
     # Direction 1 (near-threshold early give-up): delivery-vs-reachable stays
-    # high under the degree-aware rule, far above the uniform cap, and within
-    # a hair of the paper rule wherever the paper rule does not dip itself.
-    # The absolute floor is profile-dependent (the n=256 E13 draws are
-    # cap-bound harder graphs where even never-give-up tops out below 1), so
-    # the gate is primarily relative.
+    # high under the degree-aware rule, never below the uniform cap, and
+    # within a hair of the paper rule wherever the paper rule does not dip
+    # itself.  Pipelined relay rounds closed most of the constant rule's old
+    # near-threshold deficit (delivery now needs far fewer request phases,
+    # so a uniform budget rarely binds before the frontier arrives), which
+    # is why the degree-vs-constant gate is dominance rather than the former
+    # +0.2 margin; the degree rule's remaining edge is the profile-dependent
+    # tail the absolute floor below guards.
     assert summaries["near_dvr_degree"] >= 0.85
-    assert summaries["near_dvr_degree"] >= summaries["near_dvr_constant"] + 0.2
+    assert summaries["near_dvr_degree"] >= summaries["near_dvr_constant"]
     assert summaries["near_dvr_degree"] >= summaries["near_dvr_paper"] - 0.03
 
     # Sub-threshold reachable nodes (Alice's own small components) are never

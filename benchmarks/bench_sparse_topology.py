@@ -21,11 +21,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_sparse_topology.py            # full sweep (~3 min)
     PYTHONPATH=src python benchmarks/bench_sparse_topology.py --quick    # CI-sized smoke
 
-Delivery note: at ``n = 10⁵`` with the default radius (twice the
-connectivity threshold) the protocol's quiet rule retires far-from-Alice
-nodes long before the relay frontier reaches them, so the run *completes*
-with only Alice's neighbourhood informed — the known multi-hop quiet-rule
-calibration issue tracked in ROADMAP.md, not a sparse-path artefact.
+Delivery note: with pipelined relay rounds (the `MultiHopBroadcast` default)
+the frontier crosses the whole giant component within a round, so the run
+delivers to essentially every node; `benchmarks/bench_million_device.py`
+is the dedicated large-`n` delivery row, this benchmark's engine run is
+primarily the adjacency-memory assertion.
 """
 
 from __future__ import annotations

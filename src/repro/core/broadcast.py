@@ -46,6 +46,11 @@ __all__ = ["EpsilonBroadcast", "MultiHopBroadcast"]
 
 EngineSpec = Union[str, SlotEngine, PhaseEngine]
 
+# Shared empty role cohort: roles are built every phase, so the common empty
+# arrays (no relays, no decoys) are allocated once.
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
+_EMPTY_IDS.setflags(write=False)
+
 
 class EpsilonBroadcast:
     """Run the ε-Broadcast protocol of Gilbert & Young against an adversary.
@@ -157,8 +162,7 @@ class EpsilonBroadcast:
 
         round_index = start_round
         while round_index <= max_round:
-            phases = self._round_phases(round_index)
-            for plan in phases:
+            for plan in self._iter_round_phases(round_index, state):
                 roles = self._roles_for(plan, state)
                 self._execute_phase(plan, roles, state, clock, log, round_index)
                 if state.everyone_done():
@@ -200,13 +204,28 @@ class EpsilonBroadcast:
     def _build_round_phases(self, round_index: int) -> List[PhasePlan]:
         return self.schedule.round_phases(round_index)
 
+    def _iter_round_phases(self, round_index: int, state: ProtocolState):
+        """Yield the phase plans of round ``i`` in execution order.
+
+        The base protocol's schedule is static, so this simply walks the
+        memoised per-round list.  It is a *generator hook*: variants whose
+        schedule depends on how the round unfolds (the pipelined multi-hop
+        orchestrator appends propagation steps while fresh frontiers remain
+        in flight) override it and inspect the mutated ``state`` between
+        yields.
+        """
+
+        return iter(self._round_phases(round_index))
+
     def _roles_for(self, plan: PhasePlan, state: ProtocolState) -> PhaseRoles:
-        active_uninformed = state.active_uninformed()
-        relays = state.active_informed() if plan.kind is PhaseKind.PROPAGATION else frozenset()
+        active_uninformed = state.active_uninformed_array()
+        relays = (
+            state.active_informed_array() if plan.kind is PhaseKind.PROPAGATION else _EMPTY_IDS
+        )
         decoy_senders = (
             active_uninformed
             if (self.decoy_traffic and plan.kind in (PhaseKind.INFORM, PhaseKind.PROPAGATION))
-            else frozenset()
+            else _EMPTY_IDS
         )
         return PhaseRoles(
             active_uninformed=active_uninformed,
@@ -261,7 +280,7 @@ class EpsilonBroadcast:
                 newly_informed=len(result.newly_informed),
                 alice_cost=self.network.alice_cost - alice_before,
                 nodes_cost=float(self.network.node_costs().sum()) - nodes_before,
-                active_uninformed_after=len(state.active_uninformed()),
+                active_uninformed_after=state.active_uninformed_count(),
                 terminated_after=state.terminated_informed_count()
                 + state.terminated_uninformed_count(),
             )
@@ -284,19 +303,19 @@ class EpsilonBroadcast:
 
         if plan.kind is PhaseKind.PROPAGATION:
             # Relays transmitted during this step and terminate at its end.
-            state.terminate_informed(roles.relays, round_index)
+            state.terminate_informed(roles.relay_ids, round_index)
             if plan.step >= self.params.k - 1:
                 # Final propagation step of the round: nodes informed during it
                 # hold the message and have no further role, so they terminate
                 # too (§2.1: keeping S_i around is wasteful).
-                state.terminate_informed(state.active_informed(), round_index)
+                state.terminate_informed(state.active_informed_array(), round_index)
 
         if plan.kind is PhaseKind.REQUEST:
             # Informed-but-active nodes can only exist here if the round had no
             # propagation step (k = 2 always has one); terminate them first so
             # the delivery accounting stays exact.
-            leftovers = state.active_informed()
-            if leftovers:
+            leftovers = state.active_informed_array()
+            if leftovers.size:
                 state.terminate_informed(leftovers, round_index)
             apply_request_phase(
                 state,
@@ -309,8 +328,8 @@ class EpsilonBroadcast:
     def _finalize_at_cap(self, state: ProtocolState, max_round: int) -> None:
         """Force-terminate every remaining participant at the safety cap."""
 
-        state.terminate_informed(state.active_informed(), max_round)
-        state.terminate_uninformed(state.active_uninformed(), max_round)
+        state.terminate_informed(state.active_informed_array(), max_round)
+        state.terminate_uninformed(state.active_uninformed_array(), max_round)
         state.terminate_alice(max_round)
 
     # ------------------------------------------------------------------ #
@@ -324,7 +343,7 @@ class EpsilonBroadcast:
         log: EventLog,
         terminated_by_cap: bool,
     ) -> BroadcastOutcome:
-        informed = sum(1 for status in state.statuses.values() if status.is_informed)
+        informed = state.informed_count()
         delivery = DeliveryStats(
             n=self.config.n,
             informed=informed,
@@ -365,14 +384,29 @@ class MultiHopBroadcast(EpsilonBroadcast):
       of every subsequent round towards its own neighbourhood) until **no
       active uninformed neighbour remains**, and only then terminates.
 
-    Within one round the ``k - 1`` propagation steps chain hops: nodes
-    informed in step ``h`` relay in step ``h + 1``.  Across rounds the
-    informed frontier advances at least one hop per round, so coverage of
-    Alice's connected component grows geometrically in slots.  Unreachable
-    nodes stop through the request-phase quiet rule only if their own
-    neighbourhood goes quiet — isolated nodes do; multi-node components
-    without Alice keep hearing each other's nacks and run until the round
-    cap (see the ROADMAP open item on quiet-rule tuning).
+    Within one round the propagation steps chain hops: nodes informed in
+    step ``h`` relay in step ``h + 1``.  With **pipelining** (the default)
+    the round does not stop after the scheduled ``k - 1`` steps — while the
+    previous step informed at least one new node and both a relay frontier
+    and an uninformed audience remain, the orchestrator appends further
+    propagation steps, so multiple overlapping frontiers stay in flight and
+    one round can carry the message across the whole component diameter
+    instead of ``k - 1`` hops.  ``pipeline=False`` restores the sequential
+    one-wave-per-round schedule.
+
+    The request-phase quiet rule retires uninformed nodes whose budgets run
+    out; nodes the rule keeps alive indefinitely (infinite budgets, e.g. a
+    super-critical neighbourhood in an Alice-less component) are handled by
+    **cap-aware truncation**: after every request phase the orchestrator
+    checks, with one masked BFS from the live message holders, whether such
+    a node can still be reached by ``m`` through active nodes.  Once every
+    path is severed by terminated nodes the stall is unfixable — no future
+    phase can change the node's state before the round cap — so it is
+    terminated immediately and the schedule truncates as soon as every
+    component has either delivered or provably stalled, instead of running
+    to the cap.  Rules that use the paper's channel-quiet test
+    (``channel_quiet_test=True``) are exempt: their run-to-the-cap blowup
+    is protocol behaviour the experiments measure, not a harness artefact.
 
     On a single-hop topology every rule above degenerates to the base
     protocol (a clique relay retires after one step because every neighbour
@@ -395,7 +429,13 @@ class MultiHopBroadcast(EpsilonBroadcast):
         ``quiet_rule=ConstantQuietRule(retries=max_quiet_retries)`` — the
         paper's rule plus a uniform budget of that many request phases,
         bit-identical to the old run-level retry cap.  Cannot be combined
-        with an explicit ``quiet_rule``.
+        with an explicit ``quiet_rule``.  Deprecated: passing it emits a
+        ``DeprecationWarning``.
+    pipeline:
+        Keep appending propagation steps to a round while the frontier
+        advances (see the class docstring).  ``False`` restores the
+        sequential schedule — one relay wave per scheduled step — which the
+        equivalence tests use as the reference behaviour.
     """
 
     protocol_name = "multihop-epsilon-broadcast"
@@ -405,15 +445,66 @@ class MultiHopBroadcast(EpsilonBroadcast):
         *args,
         quiet_rule: Optional[QuietRule | str] = None,
         max_quiet_retries: Optional[int] = None,
+        pipeline: bool = True,
         **kwargs,
     ) -> None:
         self.quiet_rule = resolve_quiet_rule(quiet_rule, max_quiet_retries)
         self.max_quiet_retries = max_quiet_retries
+        self.pipeline = pipeline
         # Budgets are a pure function of the realised topology (fixed for the
         # orchestrator's lifetime); resolved lazily so single-hop runs — which
         # never consult the rule — skip the neighbourhood statistics.
         self._quiet_budgets: Optional[np.ndarray] = None
+        # Pipelined steps beyond the scheduled k - 1 are built on demand and
+        # memoised like the static per-round plans.
+        self._extra_step_cache: Dict[tuple, PhasePlan] = {}
         super().__init__(*args, **kwargs)
+
+    def _iter_round_phases(self, round_index: int, state: ProtocolState):
+        """The multi-hop round schedule, extended while frontiers are in flight.
+
+        Yields the static schedule (inform, propagation steps ``1..k-1``,
+        request) and — when pipelining is on and the topology is multi-hop —
+        keeps yielding further propagation steps between the scheduled ones
+        and the request phase, as long as the previous step informed at
+        least one new node and both an active relay frontier and an active
+        uninformed audience remain.  The generator inspects the mutated
+        ``state`` between yields, so the decision to extend uses exactly the
+        protocol-visible information both engines agree on.
+        """
+
+        static = self._round_phases(round_index)
+        if self.network.topology.is_single_hop or not self.pipeline:
+            yield from static
+            return
+        yield static[0]  # inform
+        informed_before = state.informed_count()
+        step = 0
+        for plan in static[1:-1]:  # scheduled propagation steps 1..k-1
+            step = plan.step
+            yield plan
+        while True:
+            informed_after = state.informed_count()
+            progressed = informed_after > informed_before
+            informed_before = informed_after
+            if (
+                not progressed
+                or state.active_informed_count() == 0
+                or state.active_uninformed_count() == 0
+            ):
+                break
+            step += 1
+            yield self._extra_propagation_step(round_index, step)
+        yield static[-1]  # request
+
+    def _extra_propagation_step(self, round_index: int, step: int) -> PhasePlan:
+        key = (round_index, step)
+        plan = self._extra_step_cache.get(key)
+        if plan is None:
+            plan = self._extra_step_cache[key] = self.schedule.propagation_step(
+                round_index, step
+            )
+        return plan
 
     def _apply_result(
         self,
@@ -441,6 +532,7 @@ class MultiHopBroadcast(EpsilonBroadcast):
                 node_channel_test=self.quiet_rule.channel_quiet_test,
             )
             self._apply_quiet_rule(state, round_index)
+            self._truncate_stalled(state, round_index)
 
         if plan.kind in (PhaseKind.PROPAGATION, PhaseKind.REQUEST):
             # Multi-hop relay retirement: a relay stays active while it still
@@ -480,18 +572,64 @@ class MultiHopBroadcast(EpsilonBroadcast):
         streaks = state.record_unserved_request_phase(active)
         exhausted = active[streaks[active] >= budgets[active]]
         if exhausted.size:
-            state.terminate_uninformed((int(node) for node in exhausted), round_index)
+            state.terminate_uninformed(exhausted, round_index)
+
+    def _truncate_stalled(self, state: ProtocolState, round_index: int) -> None:
+        """Cap-aware schedule truncation: give up on provably unreachable nodes.
+
+        Budget-based quiet rules (``channel_quiet_test=False``) grant some
+        nodes an *infinite* streak budget — e.g. the degree-aware rule's
+        super-critical neighbourhoods — on the grounds that the relay
+        frontier should reach them.  When such a node sits in a component
+        the frontier can no longer enter (every path from a live message
+        holder is severed by already-terminated nodes), no future phase can
+        change its state: it would sit out every remaining round and be
+        force-terminated at the cap, holding the channel the whole time.
+        One masked BFS from Alice (if active) and the active relays over the
+        still-active nodes detects exactly this, and the stalled nodes
+        terminate now instead — the run's delivery, per-node transmissions,
+        and informed set are untouched; only the schedule truncates.
+
+        Channel-quiet rules (the paper's) are exempt: their run-to-the-cap
+        behaviour on sparse topologies is measured protocol behaviour, and
+        finite-budget nodes keep their exact streak semantics (a constant
+        budget still reproduces the old retry cap bit for bit).
+        """
+
+        if self.quiet_rule.channel_quiet_test:
+            return
+        budgets = self._quiet_rule_budgets()
+        if not np.isinf(budgets).any():
+            return
+        active = state.active_uninformed_array()
+        if active.size == 0:
+            return
+        stuck = active[np.isinf(budgets[active])]
+        if stuck.size == 0:
+            return
+        topology = self.network.topology
+        passable = np.zeros(topology.n, dtype=bool)
+        passable[active] = True
+        holders = [state.active_informed_array()]
+        if not state.alice_terminated:
+            holders.append(np.array([topology.n], dtype=np.int64))
+        reached = topology.frontier_reachable(np.concatenate(holders), passable)
+        doomed = stuck[~reached[stuck]]
+        if doomed.size:
+            state.terminate_uninformed(doomed, round_index)
 
     def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
-        topology = self.network.topology
-        relays = sorted(state.active_informed())
-        if not relays:
+        relays = state.active_informed_array()
+        if relays.size == 0:
             return
         # One CSR neighbourhood slice answers "does any active uninformed
         # neighbour remain?" for the whole frontier at once — O(sum of relay
         # degrees) instead of per-relay Python set intersections, which is
-        # what keeps the relay layer viable at n >> 10^4.
-        still_needed = topology.any_neighbor_in(relays, state.active_uninformed())
-        satisfied = [node_id for node_id, needed in zip(relays, still_needed) if not needed]
-        if satisfied:
+        # what keeps the relay layer viable at n >> 10^4.  Both cohorts are
+        # the state's cached arrays: no sets are materialised or sorted here.
+        still_needed = self.network.topology.any_neighbor_in(
+            relays, state.active_uninformed_array()
+        )
+        satisfied = relays[~still_needed]
+        if satisfied.size:
             state.terminate_informed(satisfied, round_index)

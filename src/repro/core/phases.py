@@ -73,24 +73,29 @@ class ScheduleBuilder:
             decoy_send_prob=self.receiver.decoy_send_probability(round_index),
         )
 
+    def propagation_step(self, round_index: int, step: int) -> PhasePlan:
+        """One propagation step of round ``i``.
+
+        Steps beyond ``k - 1`` carry the same per-slot probabilities — the
+        pipelined multi-hop orchestrator appends them while fresh frontiers
+        remain in flight (see :class:`~repro.core.broadcast.MultiHopBroadcast`).
+        """
+
+        return PhasePlan(
+            name=f"propagation:{step}",
+            kind=PhaseKind.PROPAGATION,
+            round_index=round_index,
+            num_slots=self.params.phase_length(round_index),
+            step=step,
+            relay_send_prob=self.receiver.relay_send_probability(round_index),
+            uninformed_listen_prob=self.receiver.propagation_listen_probability(round_index),
+            decoy_send_prob=self.receiver.decoy_send_probability(round_index),
+        )
+
     def propagation_steps(self, round_index: int) -> List[PhasePlan]:
         """The ``k - 1`` propagation steps of round ``i``."""
 
-        steps: List[PhasePlan] = []
-        for step in range(1, self.params.k):
-            steps.append(
-                PhasePlan(
-                    name=f"propagation:{step}",
-                    kind=PhaseKind.PROPAGATION,
-                    round_index=round_index,
-                    num_slots=self.params.phase_length(round_index),
-                    step=step,
-                    relay_send_prob=self.receiver.relay_send_probability(round_index),
-                    uninformed_listen_prob=self.receiver.propagation_listen_probability(round_index),
-                    decoy_send_prob=self.receiver.decoy_send_probability(round_index),
-                )
-            )
-        return steps
+        return [self.propagation_step(round_index, step) for step in range(1, self.params.k)]
 
     def request_phase(self, round_index: int) -> PhasePlan:
         """The request phase of round ``i``: nacks, listening, termination."""

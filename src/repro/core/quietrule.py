@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import abc
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -283,6 +284,12 @@ def resolve_quiet_rule(
             raise ConfigurationError(
                 f"max_quiet_retries must be a positive integer or None, got {max_quiet_retries}"
             )
+        warnings.warn(
+            "max_quiet_retries is deprecated; pass "
+            "quiet_rule=ConstantQuietRule(retries=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         return ConstantQuietRule(retries=max_quiet_retries)
     if quiet_rule is None:
         return DegreeAwareQuietRule()

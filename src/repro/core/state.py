@@ -11,13 +11,21 @@ is in the ε-Broadcast life cycle:
 
 The orchestrators in :mod:`repro.core.broadcast` drive all transitions; the
 state object only enforces their legality.
+
+Storage is structure-of-arrays: one ``int8`` status-code array plus ``int64``
+slot/round ledgers, so the hot-path queries (`active_uninformed_array`,
+`active_informed_array`, the counts) are numpy mask operations instead of
+dict scans.  The sorted active-id arrays are cached and invalidated by a
+transition counter — repeated reads between transitions return the *same*
+array object, which the relay-retirement hot path relies on.  Dict-shaped
+views (``statuses``, ``informed_at_slot``, ``terminated_at_round``) are kept
+for observers; they are read-only adapters over the arrays.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from typing import FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 import numpy as np
 
@@ -43,68 +51,208 @@ class NodeStatus(enum.Enum):
         return self in (NodeStatus.INFORMED, NodeStatus.TERMINATED_INFORMED)
 
 
-@dataclass
+# Status codes for the structure-of-arrays backing store.
+_UNINFORMED = 0
+_INFORMED = 1
+_TERM_INFORMED = 2
+_TERM_UNINFORMED = 3
+
+_CODE_TO_STATUS = {
+    _UNINFORMED: NodeStatus.UNINFORMED,
+    _INFORMED: NodeStatus.INFORMED,
+    _TERM_INFORMED: NodeStatus.TERMINATED_INFORMED,
+    _TERM_UNINFORMED: NodeStatus.TERMINATED_UNINFORMED,
+}
+
+
+class _StatusView:
+    """Read-only dict-shaped view over the status-code array."""
+
+    __slots__ = ("_codes",)
+
+    def __init__(self, codes: np.ndarray) -> None:
+        self._codes = codes
+
+    def __getitem__(self, node_id: int) -> NodeStatus:
+        if not 0 <= node_id < self._codes.size:
+            raise KeyError(node_id)
+        return _CODE_TO_STATUS[int(self._codes[node_id])]
+
+    def get(self, node_id: int, default: Optional[NodeStatus] = None) -> Optional[NodeStatus]:
+        if not 0 <= node_id < self._codes.size:
+            return default
+        return _CODE_TO_STATUS[int(self._codes[node_id])]
+
+    def __len__(self) -> int:
+        return self._codes.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._codes.size))
+
+    def __contains__(self, node_id: object) -> bool:
+        return isinstance(node_id, int) and 0 <= node_id < self._codes.size
+
+    def keys(self) -> Iterator[int]:
+        return iter(range(self._codes.size))
+
+    def values(self) -> Iterator[NodeStatus]:
+        for code in self._codes:
+            yield _CODE_TO_STATUS[int(code)]
+
+    def items(self) -> Iterator[Tuple[int, NodeStatus]]:
+        for node_id, code in enumerate(self._codes):
+            yield node_id, _CODE_TO_STATUS[int(code)]
+
+
+class _LedgerView:
+    """Read-only dict-shaped view over an ``int64`` ledger with ``-1`` = unset."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = values
+
+    def __getitem__(self, node_id: int) -> int:
+        if not 0 <= node_id < self._values.size or self._values[node_id] < 0:
+            raise KeyError(node_id)
+        return int(self._values[node_id])
+
+    def get(self, node_id: int, default: Optional[int] = None) -> Optional[int]:
+        if not 0 <= node_id < self._values.size or self._values[node_id] < 0:
+            return default
+        return int(self._values[node_id])
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._values >= 0))
+
+    def __contains__(self, node_id: object) -> bool:
+        return (
+            isinstance(node_id, int)
+            and 0 <= node_id < self._values.size
+            and self._values[node_id] >= 0
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(np.flatnonzero(self._values >= 0).tolist())
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[int]:
+        for node_id in np.flatnonzero(self._values >= 0):
+            yield int(self._values[node_id])
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for node_id in np.flatnonzero(self._values >= 0):
+            yield int(node_id), int(self._values[node_id])
+
+
 class ProtocolState:
-    """Mutable protocol state for one execution."""
+    """Mutable protocol state for one execution (structure-of-arrays)."""
 
-    n: int
-    statuses: Dict[int, NodeStatus] = field(default_factory=dict)
-    informed_at_slot: Dict[int, int] = field(default_factory=dict)
-    terminated_at_round: Dict[int, int] = field(default_factory=dict)
-    alice_terminated: bool = False
-    alice_terminated_at_round: Optional[int] = None
-    # Per-node quiet-rule retry state: quiet_streaks[i] counts the request
-    # phases node i has completed while still uninformed (every one of them
-    # is quiet or nack-only — a request phase never carries the message).
-    # Living on the per-run state, the counters reset with every run by
-    # construction; a reused orchestrator cannot leak a previous run's count.
-    quiet_streaks: Optional[np.ndarray] = None
+    __slots__ = (
+        "n",
+        "alice_terminated",
+        "alice_terminated_at_round",
+        "quiet_streaks",
+        "_codes",
+        "_informed_at_slot",
+        "_terminated_at_round",
+        "_version",
+        "_cache_version",
+        "_cached_uninformed",
+        "_cached_informed",
+    )
 
-    def __post_init__(self) -> None:
-        if not self.statuses:
-            self.statuses = {node_id: NodeStatus.UNINFORMED for node_id in range(self.n)}
-        if self.quiet_streaks is None:
-            self.quiet_streaks = np.zeros(self.n, dtype=np.int64)
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.alice_terminated = False
+        self.alice_terminated_at_round: Optional[int] = None
+        # Per-node quiet-rule retry state: quiet_streaks[i] counts the request
+        # phases node i has completed while still uninformed (every one of
+        # them is quiet or nack-only — a request phase never carries the
+        # message).  Living on the per-run state, the counters reset with
+        # every run by construction; a reused orchestrator cannot leak a
+        # previous run's count.
+        self.quiet_streaks = np.zeros(n, dtype=np.int64)
+        self._codes = np.zeros(n, dtype=np.int8)
+        self._informed_at_slot = np.full(n, -1, dtype=np.int64)
+        self._terminated_at_round = np.full(n, -1, dtype=np.int64)
+        # Transition counter invalidating the cached active-id arrays.
+        self._version = 0
+        self._cache_version = -1
+        self._cached_uninformed: Optional[np.ndarray] = None
+        self._cached_informed: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Queries                                                             #
     # ------------------------------------------------------------------ #
 
+    @property
+    def statuses(self) -> _StatusView:
+        """Dict-shaped view ``{node_id: NodeStatus}`` over the code array."""
+
+        return _StatusView(self._codes)
+
+    @property
+    def informed_at_slot(self) -> _LedgerView:
+        """Dict-shaped view ``{node_id: slot}`` for nodes that received ``m``."""
+
+        return _LedgerView(self._informed_at_slot)
+
+    @property
+    def terminated_at_round(self) -> _LedgerView:
+        """Dict-shaped view ``{node_id: round}`` for terminated nodes."""
+
+        return _LedgerView(self._terminated_at_round)
+
     def status(self, node_id: int) -> NodeStatus:
-        return self.statuses[node_id]
+        return _CODE_TO_STATUS[int(self._codes[node_id])]
+
+    def _refresh_cache(self) -> None:
+        if self._cache_version != self._version:
+            # np.flatnonzero returns ascending ids — already sorted, so
+            # downstream termination order is deterministic.
+            self._cached_uninformed = np.flatnonzero(self._codes == _UNINFORMED)
+            self._cached_informed = np.flatnonzero(self._codes == _INFORMED)
+            self._cached_uninformed.setflags(write=False)
+            self._cached_informed.setflags(write=False)
+            self._cache_version = self._version
 
     def active_uninformed(self) -> FrozenSet[int]:
         """Nodes still executing the protocol without the message."""
 
-        return frozenset(
-            node_id
-            for node_id, status in self.statuses.items()
-            if status is NodeStatus.UNINFORMED
-        )
+        self._refresh_cache()
+        return frozenset(self._cached_uninformed.tolist())
 
     def active_informed(self) -> FrozenSet[int]:
         """Nodes holding the message that have not yet terminated (relays)."""
 
-        return frozenset(
-            node_id for node_id, status in self.statuses.items() if status is NodeStatus.INFORMED
-        )
+        self._refresh_cache()
+        return frozenset(self._cached_informed.tolist())
 
     def active_uninformed_array(self) -> np.ndarray:
-        """:meth:`active_uninformed` as a sorted ``int64`` array.
+        """:meth:`active_uninformed` as a sorted read-only ``int64`` array.
 
         The vectorised view the quiet-rule machinery indexes budget and
-        streak arrays with; sorted so downstream termination order is
-        deterministic.
+        streak arrays with.  Cached between transitions: repeated calls
+        return the *same* array object until the state mutates, so hot
+        paths can call this every phase without re-materialising sets.
         """
 
-        return np.fromiter(
-            (
-                node_id
-                for node_id in range(self.n)
-                if self.statuses[node_id] is NodeStatus.UNINFORMED
-            ),
-            dtype=np.int64,
-        )
+        self._refresh_cache()
+        return self._cached_uninformed
+
+    def active_informed_array(self) -> np.ndarray:
+        """:meth:`active_informed` as a sorted read-only ``int64`` array.
+
+        Same caching contract as :meth:`active_uninformed_array`; this is
+        the relay frontier the multi-hop orchestrator serves to the engine
+        and to relay retirement without rebuilding sorted sets.
+        """
+
+        self._refresh_cache()
+        return self._cached_informed
 
     def record_unserved_request_phase(self, node_ids: np.ndarray) -> np.ndarray:
         """Bump the quiet streak of every node in ``node_ids``; returns the array.
@@ -116,19 +264,25 @@ class ProtocolState:
         self.quiet_streaks[node_ids] += 1
         return self.quiet_streaks
 
+    def active_uninformed_count(self) -> int:
+        return int(np.count_nonzero(self._codes == _UNINFORMED))
+
+    def active_informed_count(self) -> int:
+        return int(np.count_nonzero(self._codes == _INFORMED))
+
     def informed_count(self) -> int:
-        return sum(1 for status in self.statuses.values() if status.is_informed)
-
-    def terminated_informed_count(self) -> int:
-        return sum(1 for status in self.statuses.values() if status is NodeStatus.TERMINATED_INFORMED)
-
-    def terminated_uninformed_count(self) -> int:
-        return sum(
-            1 for status in self.statuses.values() if status is NodeStatus.TERMINATED_UNINFORMED
+        return int(
+            np.count_nonzero((self._codes == _INFORMED) | (self._codes == _TERM_INFORMED))
         )
 
+    def terminated_informed_count(self) -> int:
+        return int(np.count_nonzero(self._codes == _TERM_INFORMED))
+
+    def terminated_uninformed_count(self) -> int:
+        return int(np.count_nonzero(self._codes == _TERM_UNINFORMED))
+
     def all_nodes_terminated(self) -> bool:
-        return all(status.is_terminated for status in self.statuses.values())
+        return bool(np.all(self._codes >= _TERM_INFORMED))
 
     def everyone_done(self) -> bool:
         """Protocol-over condition: Alice and every correct node terminated."""
@@ -139,60 +293,78 @@ class ProtocolState:
     # Transitions                                                         #
     # ------------------------------------------------------------------ #
 
+    def _as_id_array(self, node_ids: Iterable[int]) -> np.ndarray:
+        ids = np.asarray(
+            node_ids if isinstance(node_ids, np.ndarray) else list(node_ids), dtype=np.int64
+        )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            bad = ids[(ids < 0) | (ids >= self.n)][0]
+            raise ProtocolViolationError(f"unknown node id {bad}")
+        return ids
+
     def mark_informed(self, node_ids: Iterable[int], slot: int) -> Set[int]:
         """Transition ``UNINFORMED -> INFORMED``; returns the ids that changed."""
 
-        changed: Set[int] = set()
-        for node_id in node_ids:
-            status = self.statuses.get(node_id)
-            if status is None:
-                raise ProtocolViolationError(f"unknown node id {node_id}")
-            if status is NodeStatus.UNINFORMED:
-                self.statuses[node_id] = NodeStatus.INFORMED
-                self.informed_at_slot[node_id] = slot
-                changed.add(node_id)
-            elif status is NodeStatus.INFORMED:
-                # Receiving a duplicate copy is harmless.
-                continue
-            else:
-                raise ProtocolViolationError(
-                    f"node {node_id} received m after terminating ({status.value})"
-                )
-        return changed
+        ids = self._as_id_array(node_ids)
+        if ids.size == 0:
+            return set()
+        codes = self._codes[ids]
+        terminated = ids[codes >= _TERM_INFORMED]
+        if terminated.size:
+            node_id = int(terminated[0])
+            raise ProtocolViolationError(
+                f"node {node_id} received m after terminating ({self.status(node_id).value})"
+            )
+        # Receiving a duplicate copy (already INFORMED) is harmless.
+        fresh = ids[codes == _UNINFORMED]
+        if fresh.size == 0:
+            return set()
+        self._codes[fresh] = _INFORMED
+        self._informed_at_slot[fresh] = slot
+        self._version += 1
+        return set(fresh.tolist())
 
     def terminate_informed(self, node_ids: Iterable[int], round_index: int) -> None:
         """Transition ``INFORMED -> TERMINATED_INFORMED``."""
 
-        for node_id in node_ids:
-            status = self.statuses.get(node_id)
-            if status is None:
-                raise ProtocolViolationError(f"unknown node id {node_id}")
-            if status is NodeStatus.INFORMED:
-                self.statuses[node_id] = NodeStatus.TERMINATED_INFORMED
-                self.terminated_at_round[node_id] = round_index
-            elif status is NodeStatus.TERMINATED_INFORMED:
-                continue
-            else:
-                raise ProtocolViolationError(
-                    f"cannot terminate node {node_id} as informed from status {status.value}"
-                )
+        ids = self._as_id_array(node_ids)
+        if ids.size == 0:
+            return
+        codes = self._codes[ids]
+        illegal = ids[(codes == _UNINFORMED) | (codes == _TERM_UNINFORMED)]
+        if illegal.size:
+            node_id = int(illegal[0])
+            raise ProtocolViolationError(
+                f"cannot terminate node {node_id} as informed from status "
+                f"{self.status(node_id).value}"
+            )
+        fresh = ids[codes == _INFORMED]
+        if fresh.size == 0:
+            return
+        self._codes[fresh] = _TERM_INFORMED
+        self._terminated_at_round[fresh] = round_index
+        self._version += 1
 
     def terminate_uninformed(self, node_ids: Iterable[int], round_index: int) -> None:
         """Transition ``UNINFORMED -> TERMINATED_UNINFORMED`` (the ε-loss path)."""
 
-        for node_id in node_ids:
-            status = self.statuses.get(node_id)
-            if status is None:
-                raise ProtocolViolationError(f"unknown node id {node_id}")
-            if status is NodeStatus.UNINFORMED:
-                self.statuses[node_id] = NodeStatus.TERMINATED_UNINFORMED
-                self.terminated_at_round[node_id] = round_index
-            elif status is NodeStatus.TERMINATED_UNINFORMED:
-                continue
-            else:
-                raise ProtocolViolationError(
-                    f"cannot terminate node {node_id} as uninformed from status {status.value}"
-                )
+        ids = self._as_id_array(node_ids)
+        if ids.size == 0:
+            return
+        codes = self._codes[ids]
+        illegal = ids[(codes == _INFORMED) | (codes == _TERM_INFORMED)]
+        if illegal.size:
+            node_id = int(illegal[0])
+            raise ProtocolViolationError(
+                f"cannot terminate node {node_id} as uninformed from status "
+                f"{self.status(node_id).value}"
+            )
+        fresh = ids[codes == _UNINFORMED]
+        if fresh.size == 0:
+            return
+        self._codes[fresh] = _TERM_UNINFORMED
+        self._terminated_at_round[fresh] = round_index
+        self._version += 1
 
     def terminate_alice(self, round_index: int) -> None:
         if not self.alice_terminated:

@@ -68,9 +68,13 @@ def apply_request_phase(
 
     threshold = receiver_policy.termination_threshold()
     terminating: Set[int] = set()
-    active = state.active_uninformed()
+    nodes_evaluated = 0
     if node_channel_test:
-        for node_id in active:
+        # Served from the cached active-id array; the frozenset accessors are
+        # off the hot path (quiet-rule runs skip this branch entirely).
+        active = state.active_uninformed_array()
+        nodes_evaluated = int(active.size)
+        for node_id in active.tolist():
             heard = result.node_noisy_heard.get(node_id, 0)
             if receiver_policy.should_terminate(heard, round_index):
                 terminating.add(node_id)
@@ -89,5 +93,5 @@ def apply_request_phase(
         alice_terminated=alice_terminates,
         alice_noisy_heard=result.alice_noisy_heard,
         threshold=threshold,
-        nodes_evaluated=len(active) if node_channel_test else 0,
+        nodes_evaluated=nodes_evaluated,
     )

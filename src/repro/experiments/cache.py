@@ -36,7 +36,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["CACHE_VERSION", "stable_token", "trial_key", "TrialCache", "PruneStats"]
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 """Salt mixed into every trial key.
 
 Bump this whenever a change alters what any trial computes (engine semantics,

@@ -54,6 +54,7 @@ from ..adversary import (
 )
 from ..analysis.stats import aggregate_records
 from ..core.broadcast import MultiHopBroadcast
+from ..core.quietrule import ConstantQuietRule
 from ..simulation.config import SimulationConfig
 from ..simulation.topology import TopologySpec, gilbert_connectivity_radius
 from .harness import ExperimentResult, ExperimentSettings
@@ -166,11 +167,16 @@ def _trial(seed: int, n: int, engine: str, scenario: str, roster_seed: int) -> d
     config = SimulationConfig(n=n, k=2, f=1.0, seed=seed, topology=spec)
     adversary = scenario_roster(None, seed=roster_seed)[scenario]()
     adversary.max_total_spend = 0.5 * config.adversary_total_budget
+    # Sequential schedule (no pipelining): the equal-budget comparison needs
+    # Carol's spend cap to bind, which requires the fixed-length relay
+    # schedule — pipelined runs deliver before the budget is exhausted and
+    # the scenarios would no longer be compared at equal spend.
     protocol = MultiHopBroadcast(
         config,
         adversary=adversary,
         engine=engine,
-        max_quiet_retries=QUIET_RETRIES,
+        quiet_rule=ConstantQuietRule(retries=QUIET_RETRIES),
+        pipeline=False,
     )
     outcome = protocol.run()
     record = outcome.as_record()
@@ -229,7 +235,7 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
 
     result.add_note(
         "All scenarios share one spend cap (half of Carol's aggregate budget) and one total "
-        "disk area, and run under max_quiet_retries so the protocol ends while jamming still "
+        "disk area, and run under a constant quiet-retry horizon so the protocol ends while jamming still "
         "binds; only the adversary moves — victim sets are re-resolved from the topology "
         "every phase through grid-accelerated disk queries."
     )

@@ -152,8 +152,10 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
         "near-threshold delivery_vs_reachable dip (locally quiet nodes no longer give up "
         "ahead of the relay frontier) and the sub-threshold mean_node_cost blowup "
         "(Alice-less components stop on their budgets instead of running to the round cap).  "
-        "E13 is the rule ablation; the price is wall-clock — sub-threshold stragglers with "
-        "super-critical neighbourhoods hold the channel to the cap (the slots column)."
+        "E13 is the rule ablation.  Sub-threshold stragglers with super-critical "
+        "neighbourhoods no longer hold the channel to the round cap: once no live message "
+        "holder can reach them the orchestrator truncates the schedule (the slots column "
+        "stays orders of magnitude below the cap)."
     )
     result.add_note(
         "The disk jammer is the geometric analogue of §2.3's n-uniform splitter: she pays "

@@ -32,13 +32,21 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .cache import TrialCache, trial_key
 from .harness import ExperimentSettings
 
-__all__ = ["TrialSpec", "ExecutionStats", "EXECUTION_STATS", "run_sweep", "run_point"]
+__all__ = [
+    "TrialSpec",
+    "ExecutionStats",
+    "EXECUTION_STATS",
+    "track_stats",
+    "run_sweep",
+    "run_point",
+]
 
 
 @dataclass(frozen=True)
@@ -99,7 +107,48 @@ class ExecutionStats:
 
 
 EXECUTION_STATS = ExecutionStats()
-"""Process-global runner counters (incremented in the parent only)."""
+"""Process-global *aggregate* runner counters (incremented in the parent only).
+
+This is the lifetime total across every sweep the process ran.  Because it is
+a mutable global, two back-to-back sweeps cannot be told apart through it
+without snapshot arithmetic — callers that want the counters of *one* sweep
+(or one experiment) should scope them with :func:`track_stats`, which hands
+out a fresh per-scope ``ExecutionStats`` and leaves the aggregate intact.
+"""
+
+_STATS_SINKS: List[ExecutionStats] = []
+
+
+@contextmanager
+def track_stats() -> Iterator[ExecutionStats]:
+    """Scope runner counters: everything run inside accrues to a fresh object.
+
+    ::
+
+        with track_stats() as stats:
+            run_experiment("E11", settings)
+        print(stats.executed, stats.cache_hits, stats.cache_misses)
+
+    The yielded object starts at zero and only counts trials processed while
+    the context is open; the :data:`EXECUTION_STATS` aggregate keeps counting
+    globally, so existing snapshot/``since`` consumers are unaffected.
+    Scopes nest — each open scope receives every increment.
+    """
+
+    stats = ExecutionStats()
+    _STATS_SINKS.append(stats)
+    try:
+        yield stats
+    finally:
+        _STATS_SINKS.remove(stats)
+
+
+def _count(field_name: str) -> None:
+    """Increment one counter on the aggregate and every open scope."""
+
+    setattr(EXECUTION_STATS, field_name, getattr(EXECUTION_STATS, field_name) + 1)
+    for sink in _STATS_SINKS:
+        setattr(sink, field_name, getattr(sink, field_name) + 1)
 
 
 def _run_unit(unit: Tuple[Callable[..., Dict[str, object]], int, Dict[str, object]]):
@@ -174,13 +223,13 @@ def run_sweep(
                 key = trial_key(spec.trial_fn, spec.labels, seed, spec.params)
                 record = cache.get(key)
                 if record is not None:
-                    EXECUTION_STATS.cache_hits += 1
+                    _count("cache_hits")
                     # Refresh the entry's mtime so prune()'s LRU order keeps
                     # recently *served* records, not just recently written ones.
                     cache.touch(key)
                     results[spec_index][trial_index] = record
                     continue
-                EXECUTION_STATS.cache_misses += 1
+                _count("cache_misses")
             pending.append(
                 (spec_index, trial_index, key, (spec.trial_fn, seed, dict(spec.params)))
             )
@@ -196,7 +245,7 @@ def run_sweep(
             # sweep" promise of the trial cache, with `executed` staying
             # truthful for stats consumers that span a failed run.
             for (spec_index, trial_index, key, _), record in zip(pending, records):
-                EXECUTION_STATS.executed += 1
+                _count("executed")
                 results[spec_index][trial_index] = record
                 if cache is not None and key is not None:
                     cache.put(key, record)

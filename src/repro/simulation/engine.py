@@ -78,9 +78,9 @@ class SlotEngine:
 
         payload = make_payload(ALICE_ID, network.message_payload, network.message_signature)
 
-        active_uninformed: Set[int] = set(roles.active_uninformed)
-        relays = sorted(roles.relays)
-        decoy_senders = sorted(roles.decoy_senders)
+        active_uninformed: Set[int] = set(roles.active_uninformed_ids.tolist())
+        relays = roles.relay_ids.tolist()
+        decoy_senders = roles.decoy_ids.tolist()
 
         # Pre-materialise non-reactive jamming and spoofing schedules.
         reactive = jam_plan.reactive

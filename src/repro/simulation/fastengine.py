@@ -160,9 +160,9 @@ class PhaseEngine:
                 return self._run_phase_multihop_sparse(plan, roles, jam_plan, start_slot)
             return self._run_phase_multihop(plan, roles, jam_plan, start_slot)
 
-        uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
-        relays = np.array(sorted(roles.relays), dtype=np.int64)
-        decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
+        uninformed = roles.active_uninformed_ids
+        relays = roles.relay_ids
+        decoys = roles.decoy_ids
 
         # ------------------------------------------------------------------ #
         # 1. Per-slot correct-side transmission counts                        #
@@ -335,9 +335,9 @@ class PhaseEngine:
         s = plan.num_slots
         f32 = np.float32
 
-        uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
-        relays = np.array(sorted(roles.relays), dtype=np.int64)
-        decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
+        uninformed = roles.active_uninformed_ids
+        relays = roles.relay_ids
+        decoys = roles.decoy_ids
         num_u, num_r, num_d = uninformed.size, relays.size, decoys.size
 
         # ------------------------------------------------------------------ #
@@ -552,9 +552,9 @@ class PhaseEngine:
         n = topology.n
         csr = topology.neighbor_csr()
 
-        uninformed = np.array(sorted(roles.active_uninformed), dtype=np.int64)
-        relays = np.array(sorted(roles.relays), dtype=np.int64)
-        decoys = np.array(sorted(roles.decoy_senders), dtype=np.int64)
+        uninformed = roles.active_uninformed_ids
+        relays = roles.relay_ids
+        decoys = roles.decoy_ids
         num_u, num_r, num_d = uninformed.size, relays.size, decoys.size
 
         # Listener-position lookup: device row -> index into `uninformed`.

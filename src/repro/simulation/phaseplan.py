@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
+import numpy as np
+
 from .channel import JamTargeting
 from .config import SimulationConfig
 from .events import PhaseRecord
@@ -127,9 +129,32 @@ class PhasePlan:
         return self.alice_send_prob > 0.0 or self.relay_send_prob > 0.0
 
 
-@dataclass(frozen=True)
+def _as_sorted_ids(ids: "Sequence[int] | FrozenSet[int] | np.ndarray") -> np.ndarray:
+    """Canonicalise a role cohort into a sorted unique ``int64`` array.
+
+    Arrays that are already strictly increasing (the cached views served by
+    :class:`~repro.core.state.ProtocolState`) pass through without a copy, so
+    building roles every phase costs O(n) at worst and O(1) on the hot path.
+    """
+
+    if isinstance(ids, np.ndarray) and ids.dtype == np.int64:
+        if ids.size <= 1 or bool(np.all(np.diff(ids) > 0)):
+            return ids
+        return np.unique(ids)
+    arr = np.asarray(sorted(ids), dtype=np.int64)
+    if arr.size > 1 and not bool(np.all(np.diff(arr) > 0)):
+        arr = np.unique(arr)
+    return arr
+
+
 class PhaseRoles:
     """Which devices play which role during one phase.
+
+    Backed by sorted ``int64`` id arrays (``active_uninformed_ids``,
+    ``relay_ids``, ``decoy_ids``) that the vectorised engine consumes
+    directly; the historical frozenset attributes (``active_uninformed``,
+    ``relays``, ``decoy_senders``) are materialised lazily for adversaries
+    and tests that want set semantics.
 
     Attributes
     ----------
@@ -146,22 +171,87 @@ class PhaseRoles:
         Whether Alice is still executing the protocol.
     """
 
-    active_uninformed: FrozenSet[int]
-    relays: FrozenSet[int] = frozenset()
-    decoy_senders: FrozenSet[int] = frozenset()
-    alice_active: bool = True
+    __slots__ = (
+        "active_uninformed_ids",
+        "relay_ids",
+        "decoy_ids",
+        "alice_active",
+        "_uninformed_set",
+        "_relay_set",
+        "_decoy_set",
+    )
+
+    def __init__(
+        self,
+        active_uninformed: "Sequence[int] | FrozenSet[int] | np.ndarray" = (),
+        relays: "Sequence[int] | FrozenSet[int] | np.ndarray" = (),
+        decoy_senders: "Sequence[int] | FrozenSet[int] | np.ndarray" = (),
+        alice_active: bool = True,
+    ) -> None:
+        self.active_uninformed_ids = _as_sorted_ids(active_uninformed)
+        self.relay_ids = _as_sorted_ids(relays)
+        self.decoy_ids = _as_sorted_ids(decoy_senders)
+        self.alice_active = alice_active
+        self._uninformed_set: Optional[FrozenSet[int]] = None
+        self._relay_set: Optional[FrozenSet[int]] = None
+        self._decoy_set: Optional[FrozenSet[int]] = None
+
+    @property
+    def active_uninformed(self) -> FrozenSet[int]:
+        if self._uninformed_set is None:
+            self._uninformed_set = frozenset(self.active_uninformed_ids.tolist())
+        return self._uninformed_set
+
+    @property
+    def relays(self) -> FrozenSet[int]:
+        if self._relay_set is None:
+            self._relay_set = frozenset(self.relay_ids.tolist())
+        return self._relay_set
+
+    @property
+    def decoy_senders(self) -> FrozenSet[int]:
+        if self._decoy_set is None:
+            self._decoy_set = frozenset(self.decoy_ids.tolist())
+        return self._decoy_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhaseRoles):
+            return NotImplemented
+        return (
+            self.alice_active == other.alice_active
+            and np.array_equal(self.active_uninformed_ids, other.active_uninformed_ids)
+            and np.array_equal(self.relay_ids, other.relay_ids)
+            and np.array_equal(self.decoy_ids, other.decoy_ids)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.alice_active,
+                self.active_uninformed_ids.tobytes(),
+                self.relay_ids.tobytes(),
+                self.decoy_ids.tobytes(),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseRoles(active_uninformed={self.active_uninformed_ids.size}, "
+            f"relays={self.relay_ids.size}, decoys={self.decoy_ids.size}, "
+            f"alice_active={self.alice_active})"
+        )
 
     @staticmethod
     def of(
-        active_uninformed: Sequence[int] | FrozenSet[int],
-        relays: Sequence[int] | FrozenSet[int] = (),
-        decoy_senders: Sequence[int] | FrozenSet[int] = (),
+        active_uninformed: "Sequence[int] | FrozenSet[int] | np.ndarray",
+        relays: "Sequence[int] | FrozenSet[int] | np.ndarray" = (),
+        decoy_senders: "Sequence[int] | FrozenSet[int] | np.ndarray" = (),
         alice_active: bool = True,
     ) -> "PhaseRoles":
         return PhaseRoles(
-            active_uninformed=frozenset(active_uninformed),
-            relays=frozenset(relays),
-            decoy_senders=frozenset(decoy_senders),
+            active_uninformed=active_uninformed,
+            relays=relays,
+            decoy_senders=decoy_senders,
             alice_active=alice_active,
         )
 

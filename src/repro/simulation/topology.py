@@ -687,20 +687,56 @@ class Topology(abc.ABC):
         left.  Cost is ``O(sum of the devices' degrees)`` via one CSR slice.
         """
 
-        device_ids = np.asarray(list(device_ids), dtype=np.int64)
-        out = np.zeros(device_ids.size, dtype=bool)
-        if device_ids.size == 0:
+        if isinstance(device_ids, np.ndarray):
+            # Fast path: an int array of node ids *is* its own row vector
+            # (nodes 0..n-1 are rows 0..n-1) — no per-element Python mapping.
+            rows = device_ids.astype(np.int64, copy=False)
+        else:
+            rows = np.array([self._index(int(d)) for d in device_ids], dtype=np.int64)
+        out = np.zeros(rows.size, dtype=bool)
+        if rows.size == 0:
             return out
         member_mask = np.zeros(self.n + 1, dtype=bool)
-        for member in member_ids:
-            member_mask[self._index(int(member))] = True
+        if isinstance(member_ids, np.ndarray):
+            member_mask[member_ids.astype(np.int64, copy=False)] = True
+        else:
+            for member in member_ids:
+                member_mask[self._index(int(member))] = True
         if not member_mask.any():
             return out
         csr = self.neighbor_csr()
-        rows = np.array([self._index(int(d)) for d in device_ids], dtype=np.int64)
         origins, nbrs = csr.expand(rows)
         out[origins[member_mask[nbrs]]] = True
         return out
+
+    def frontier_reachable(self, source_rows: np.ndarray, passable: np.ndarray) -> np.ndarray:
+        """Passable nodes reachable from ``source_rows`` through passable nodes.
+
+        ``source_rows`` are adjacency rows (node rows or Alice's row ``n``);
+        ``passable`` is a boolean mask over nodes.  The BFS expands only
+        through nodes the mask admits, which is exactly the multi-hop
+        message-flow question: a node outside the returned mask cannot ever
+        receive ``m`` from the given sources, because every path to it is
+        severed by a non-passable (terminated) node.  Cost is ``O(edges
+        touched)`` via chunked CSR expansion — no per-node Python loop.
+        """
+
+        reached = np.zeros(self.n, dtype=bool)
+        if source_rows.size == 0:
+            return reached
+        csr = self.neighbor_csr()
+        _, nbrs = csr.expand(source_rows.astype(np.int64, copy=False))
+        nbrs = nbrs[nbrs < self.n]
+        frontier = np.unique(nbrs[passable[nbrs]])
+        reached[frontier] = True
+        while frontier.size:
+            _, nbrs = csr.expand(frontier)
+            nbrs = nbrs[nbrs < self.n]
+            nbrs = np.unique(nbrs)
+            new = nbrs[passable[nbrs] & ~reached[nbrs]]
+            reached[new] = True
+            frontier = new
+        return reached
 
     def memory_bytes(self) -> int:
         """Bytes held by the realised adjacency (0 for implicit topologies)."""

@@ -278,10 +278,13 @@ class TestQuietRuleBehaviour:
                 bucket.append(outcome.delivery.informed / reachable)
         assert np.mean(degree_dvr) >= 0.99
         assert abs(np.mean(degree_dvr) - 1.0) <= 0.01
-        # And it strictly dominates the paper rule on every trial where the
-        # paper rule dipped.
+        # And it stays within one node of the paper rule on every trial.
+        # (Strict dominance held when one relay wave ran per round; pipelined
+        # frontiers cure most of the paper rule's own dip at this profile, so
+        # a single early-give-up node can now put the degree rule a hair
+        # below a perfect paper trial.)
         for paper_value, degree_value in zip(paper_dvr, degree_dvr):
-            assert degree_value >= paper_value - 1e-9
+            assert degree_value >= paper_value - 1.5 / settings.n
 
     def test_small_alice_components_still_served(self):
         """Sub-threshold nodes in Alice's own (small) component are reachable

@@ -33,7 +33,7 @@ from datetime import date
 
 from repro.experiments import ExperimentSettings, render_result, render_table
 from repro.experiments.registry import experiment_ids, run_experiment
-from repro.experiments.runner import EXECUTION_STATS
+from repro.experiments.runner import track_stats
 
 COMMENTARY = {
     "E1": (
@@ -118,15 +118,18 @@ COMMENTARY = {
         "delays her disk while her budget lasts.  The former quiet-rule misfires (near-threshold "
         "delivery_vs_reachable dipped to ~0.9 while the sub-threshold mean_node_cost blew up "
         "~6x) are fixed by the default degree-aware termination rule — per-node budgets from the "
-        "three-hop neighbourhood size, E13 is the ablation — at the price of sub-threshold runs "
-        "holding the channel to the round cap (the slots column) while per-node energy collapses."
+        "three-hop neighbourhood size, E13 is the ablation.  Pipelined relays plus cap-aware "
+        "schedule truncation (PR 6) removed the rule's former wall-clock price: sub-threshold "
+        "runs now end as soon as every component has delivered or provably stalled, so the slots "
+        "column stays orders of magnitude below the round cap while per-node energy stays "
+        "collapsed."
     ),
     "E12": (
         "Paper: Carol is adaptive — she \"possesses full information on how nodes have behaved in "
         "the past\" (§1.1) — but the model is aspatial; this experiment extends PR 1's static disk "
         "jammer into a mobility subsystem (repro.adversary.mobility) where the victim set is a "
         "function of time, re-resolved against the topology every phase.  Measured, at equal spend "
-        "caps and equal total disk area under a max_quiet_retries horizon (runs end while jamming "
+        "caps and equal total disk area under a constant quiet-retry horizon (runs end while jamming "
         "still binds): oblivious mobility (patrol/orbit/random walk) trades denial depth for "
         "coverage — 2-4x more nodes covered than the static disk, but victims mostly catch up "
         "after the disk passes (high victim_delivery) — while the adaptive reactive disk, "
@@ -141,9 +144,13 @@ COMMENTARY = {
         "directions (the former E11 open item).  This ablation runs identical near- and "
         "sub-threshold Gilbert graphs under every termination policy: the paper rule pays the "
         "sub-threshold blowup (~15000 mean node cost, Alice-less components sustaining each "
-        "other's nacks to the round cap) and still dips near the threshold (mass give-up at the "
+        "other's nacks to the round cap — the one policy still exempt from PR 6's cap-aware "
+        "truncation, because that blowup is the measured protocol behaviour) and still dips near the threshold (mass give-up at the "
         "earliest reliable round, ahead of the relay frontier); a uniform retry cap fixes the "
-        "cost but destroys near-threshold delivery (delivery_vs_reachable ~0.2-0.7); a "
+        "cost but leaves near-threshold delivery short of 1 (it used to destroy it outright; "
+        "with pipelined relay rounds far fewer request phases elapse before the frontier "
+        "arrives, so the budget rarely binds — yet the degree-aware rule still dominates it "
+        "on every profile); a "
         "plain-degree (hops=1) budget fails both ways because sub- and super-critical degree "
         "distributions overlap; the default degree-aware rule — budgets from the three-hop "
         "neighbourhood size, unlimited patience where the ball clears the Gilbert connectivity "
@@ -227,11 +234,14 @@ def main() -> None:
     results = []
     profile_rows = []
     for eid in experiment_ids():
-        before = EXECUTION_STATS.snapshot()
+        # Per-experiment counters are scoped, not derived from the process
+        # global: registry experiments may themselves run nested sweeps, and
+        # snapshot arithmetic against the mutable global cross-contaminated
+        # back-to-back experiments in one process.
         start = time.perf_counter()
-        result = run_experiment(eid, settings)
+        with track_stats() as stats:
+            result = run_experiment(eid, settings)
         elapsed = time.perf_counter() - start
-        stats = EXECUTION_STATS.since(before)
         results.append(result)
         profile_rows.append(
             {

@@ -52,6 +52,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     run_step "parallel-harness benchmark smoke (jobs fan-out + trial cache)" \
         python benchmarks/bench_parallel_harness.py --smoke
+
+    run_step "million-device pipelined benchmark smoke" \
+        python benchmarks/bench_million_device.py --smoke
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
