@@ -23,6 +23,7 @@ from .mobility import (
     WaypointPatrol,
 )
 from .none import NullAdversary
+from .parameters import ParamSpec
 from .nuniform import NUniformSplitAdversary
 from .phase_blocker import PhaseBlockingAdversary
 from .random_jammer import RandomJammer
@@ -42,6 +43,7 @@ __all__ = [
     "NullAdversary",
     "NUniformSplitAdversary",
     "Orbit",
+    "ParamSpec",
     "PhaseBlockingAdversary",
     "RandomJammer",
     "RandomWalk",

@@ -18,10 +18,13 @@ example to realise "spend exactly T" experiment scenarios) via the
 from __future__ import annotations
 
 import abc
+import copy
 import math
-from typing import List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
+from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseResult
+from .parameters import ParamSpec
 
 __all__ = ["Adversary"]
 
@@ -38,6 +41,14 @@ class Adversary(abc.ABC):
     """
 
     name: str = "adversary"
+
+    #: Tunable parameters for introspection and search.  Each spec names a
+    #: plain attribute on the instance (subclasses with derived state hook
+    #: :meth:`_set_parameter` / :meth:`_validate_parameters` instead of
+    #: redefining the surface).  An empty tuple is a legitimate declaration
+    #: — e.g. ``NullAdversary`` has nothing to tune — and still satisfies
+    #: the tournament's conformance contract.
+    tunable: ClassVar[Tuple[ParamSpec, ...]] = ()
 
     def __init__(self, max_total_spend: Optional[float] = None) -> None:
         if max_total_spend is not None and max_total_spend < 0:
@@ -93,6 +104,70 @@ class Adversary(abc.ABC):
 
         self._spent += result.adversary_spend
         self._results.append(result)
+
+    # ------------------------------------------------------------------ #
+    # Parameter introspection                                             #
+    # ------------------------------------------------------------------ #
+
+    def tunable_parameters(self) -> Dict[str, ParamSpec]:
+        """The strategy's tunable parameters, keyed by name.
+
+        The default reads the class-level :attr:`tunable` declaration;
+        combining strategies (``CompositeAdversary``) override this to
+        expose their sub-strategies' knobs under prefixed names.
+        """
+
+        return {spec.name: spec for spec in type(self).tunable}
+
+    def get_parameter(self, name: str) -> float:
+        """Current value of tunable parameter ``name``."""
+
+        spec = self._require_spec(name)
+        return getattr(self, spec.name)
+
+    def with_parameters(self, **values: float) -> "Adversary":
+        """A deep copy of this (unbound) strategy with parameters replaced.
+
+        Values are validated against each parameter's declared bounds
+        before anything is mutated, so a failed call leaves no half-updated
+        clone behind.  Must be applied *before* :meth:`bind_network` — the
+        tournament's roster factories build a fresh strategy per trial, so
+        this is the natural order there.
+        """
+
+        if not values:
+            return self
+        specs = self.tunable_parameters()
+        validated = {}
+        for name, value in values.items():
+            if name not in specs:
+                known = ", ".join(sorted(specs)) or "none"
+                raise ConfigurationError(
+                    f"{type(self).__name__} has no tunable parameter {name!r} (known: {known})"
+                )
+            validated[name] = specs[name].validate(value)
+        clone = copy.deepcopy(self)
+        for name, value in validated.items():
+            clone._set_parameter(name, value)
+        clone._validate_parameters()
+        return clone
+
+    def _set_parameter(self, name: str, value: float) -> None:
+        """Assign one validated parameter; subclasses with derived state override."""
+
+        setattr(self, name, value)
+
+    def _validate_parameters(self) -> None:
+        """Cross-field checks after a :meth:`with_parameters` batch (no-op)."""
+
+    def _require_spec(self, name: str) -> ParamSpec:
+        specs = self.tunable_parameters()
+        if name not in specs:
+            known = ", ".join(sorted(specs)) or "none"
+            raise ConfigurationError(
+                f"{type(self).__name__} has no tunable parameter {name!r} (known: {known})"
+            )
+        return specs[name]
 
     # ------------------------------------------------------------------ #
     # Hooks for subclasses                                                #

@@ -16,6 +16,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["BurstyJammer"]
 
@@ -38,6 +39,13 @@ class BurstyJammer(Adversary):
 
     name = "bursty"
 
+    tunable = (
+        ParamSpec("burst_length", 1, 128, integer=True,
+                  description="slots jammed at the top of each period"),
+        ParamSpec("period", 1, 256, integer=True,
+                  description="slots between burst starts (the duty-cycle denominator)"),
+    )
+
     def __init__(
         self,
         burst_length: int,
@@ -59,6 +67,15 @@ class BurstyJammer(Adversary):
         self.period = period
         self.offset = offset
         self.targeting = targeting if targeting is not None else JamTargeting.everyone()
+
+    def _validate_parameters(self) -> None:
+        # The constructor's cross-field constraint, re-checked after a
+        # with_parameters batch (each knob is in-bounds on its own, but a
+        # long burst can outgrow a short period).
+        if self.period < self.burst_length:
+            raise ConfigurationError(
+                f"period ({self.period}) must be at least burst_length ({self.burst_length})"
+            )
 
     def burst_slots(self, num_slots: int) -> Tuple[int, ...]:
         """The explicit slot offsets jammed within a phase of ``num_slots``."""

@@ -43,6 +43,7 @@ import numpy as np
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext
 from .base import Adversary
+from .parameters import ParamSpec
 from .spatial import plan_disk_jam
 
 __all__ = [
@@ -328,6 +329,11 @@ class MobileJammer(_PerPhaseDiskJammer):
 
     name = "mobile"
 
+    tunable = (
+        ParamSpec("radius", 0.02, 0.5,
+                  description="moving-disk radius in the unit square"),
+    )
+
     def __init__(
         self,
         trajectory: Trajectory,
@@ -379,6 +385,11 @@ class MultiDiskJammer(_PerPhaseDiskJammer):
 
     name = "multi_disk"
 
+    tunable = (
+        ParamSpec("radius", 0.02, 0.5,
+                  description="shared radius applied to every disk"),
+    )
+
     def __init__(
         self,
         centers: Sequence[Sequence[float]],
@@ -419,6 +430,18 @@ class MultiDiskJammer(_PerPhaseDiskJammer):
 
         return list(self._centers_now)
 
+    @property
+    def radius(self) -> float:
+        """The shared disk radius (the first, under per-disk radii)."""
+
+        return self.radii[0]
+
+    @radius.setter
+    def radius(self, value: float) -> None:
+        # The introspection surface exposes one "radius" knob; setting it
+        # resizes every disk, matching the scalar-radius constructor form.
+        self.radii = [float(value)] * len(self.radii)
+
     def _resolve_victims(self, context: PhaseContext) -> Iterable[int]:
         network = self._require_bound()
         topology = network.topology
@@ -455,6 +478,11 @@ class ReactiveDiskJammer(_PerPhaseDiskJammer):
     """
 
     name = "reactive_disk"
+
+    tunable = (
+        ParamSpec("radius", 0.02, 0.5,
+                  description="pursuit-disk radius in the unit square"),
+    )
 
     def __init__(
         self,

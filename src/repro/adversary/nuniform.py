@@ -24,6 +24,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["NUniformSplitAdversary"]
 
@@ -45,6 +46,13 @@ class NUniformSplitAdversary(Adversary):
     """
 
     name = "nuniform_split"
+
+    tunable = (
+        ParamSpec("target_uninformed", 0, 4096, integer=True,
+                  description="how many nodes the split tries to keep uninformed"),
+        ParamSpec("start_round", 0, 32, integer=True,
+                  description="first round the split attack engages"),
+    )
 
     def __init__(
         self,

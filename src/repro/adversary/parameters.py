@@ -1,0 +1,123 @@
+"""Uniform parameter introspection for adversary strategies.
+
+The tournament harness (:mod:`repro.tournament`) treats every roster
+adversary as a point in a small box-constrained parameter space: the disk
+radius of a spatial jammer, the duty cycle of a bursty one, the reactivity
+threshold of a reactive one.  To enumerate and search that space without a
+per-class ``if`` ladder, each :class:`~repro.adversary.base.Adversary`
+declares its tunable knobs as :class:`ParamSpec` entries and the base class
+turns them into a uniform ``tunable_parameters()`` /
+``with_parameters(**values)`` surface (see ``base.py``).
+
+A :class:`ParamSpec` is deliberately minimal — a closed numeric interval
+plus an integrality flag — because that is exactly what a deterministic
+grid-refinement optimiser needs: bounds to stay inside and a way to lay a
+grid across them.  Anything richer (categorical knobs, conditional spaces)
+stays out of scope until an experiment needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Integral, Real
+from typing import Tuple
+
+from ..simulation.errors import ConfigurationError
+
+__all__ = ["ParamSpec"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable adversary parameter: a closed interval ``[low, high]``.
+
+    Parameters
+    ----------
+    name:
+        Attribute name on the strategy (composite strategies prefix it).
+    low, high:
+        Inclusive bounds.  Values outside raise ``ConfigurationError``.
+    integer:
+        When true the parameter only takes integer values; :meth:`grid`
+        emits ``int`` and :meth:`validate` rejects non-integral floats.
+    description:
+        One-line human summary for docs and the leaderboard.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("ParamSpec needs a non-empty name")
+        if not (self.low < self.high):
+            raise ConfigurationError(
+                f"ParamSpec({self.name!r}) needs low < high, got [{self.low}, {self.high}]"
+            )
+
+    def validate(self, value: object) -> float:
+        """Coerce ``value`` to this spec's type, or raise ``ConfigurationError``."""
+
+        if isinstance(value, bool) or not isinstance(value, (Integral, Real)):
+            raise ConfigurationError(
+                f"parameter {self.name!r} needs a number, got {value!r}"
+            )
+        if self.integer:
+            if float(value) != int(value):
+                raise ConfigurationError(
+                    f"parameter {self.name!r} is integer-valued, got {value!r}"
+                )
+            coerced: float = int(value)
+        else:
+            coerced = float(value)
+        if not (self.low <= coerced <= self.high):
+            raise ConfigurationError(
+                f"parameter {self.name!r}={coerced} outside [{self.low}, {self.high}]"
+            )
+        return coerced
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the bounds (and integrality)."""
+
+        try:
+            self.validate(value)
+        except ConfigurationError:
+            return False
+        return True
+
+    def grid(self, points: int, low: float = None, high: float = None) -> Tuple[float, ...]:
+        """``points`` evenly spaced in-bounds values over ``[low, high]``.
+
+        The optional sub-interval is clipped to the spec bounds; integer
+        specs round to distinct integers (so fewer than ``points`` values
+        may come back on a narrow interval).
+        """
+
+        if points < 1:
+            raise ConfigurationError(f"grid needs at least one point, got {points}")
+        lo = self.low if low is None else max(self.low, float(low))
+        hi = self.high if high is None else min(self.high, float(high))
+        if hi < lo:
+            lo = hi = max(self.low, min(self.high, lo))
+        if points == 1 or hi == lo:
+            values = [0.5 * (lo + hi)]
+        else:
+            step = (hi - lo) / (points - 1)
+            values = [lo + step * i for i in range(points)]
+        if self.integer:
+            seen = []
+            for value in values:
+                rounded = int(round(value))
+                rounded = int(max(self.low, min(self.high, rounded)))
+                if rounded not in seen:
+                    seen.append(rounded)
+            return tuple(seen)
+        return tuple(float(min(self.high, max(self.low, v))) for v in values)
+
+    def span(self) -> float:
+        """Interval width, used by the optimiser's shrinking windows."""
+
+        return self.high - self.low

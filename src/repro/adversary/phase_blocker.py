@@ -24,6 +24,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["PhaseBlockingAdversary"]
 
@@ -49,6 +50,13 @@ class PhaseBlockingAdversary(Adversary):
     """
 
     name = "phase_blocker"
+
+    tunable = (
+        ParamSpec("fraction", 0.05, 1.0,
+                  description="fraction of each targeted phase's slots jammed"),
+        ParamSpec("skip_rounds_below", 0, 32, integer=True,
+                  description="rounds left untouched before the blocking starts"),
+    )
 
     def __init__(
         self,

@@ -14,6 +14,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["RandomJammer"]
 
@@ -32,6 +33,11 @@ class RandomJammer(Adversary):
     """
 
     name = "random"
+
+    tunable = (
+        ParamSpec("rate", 0.0, 1.0,
+                  description="per-slot jamming probability"),
+    )
 
     def __init__(
         self,

@@ -22,6 +22,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["ReactiveJammer"]
 
@@ -43,6 +44,11 @@ class ReactiveJammer(Adversary):
     """
 
     name = "reactive"
+
+    tunable = (
+        ParamSpec("phase_budget_fraction", 0.05, 1.0,
+                  description="fraction of the per-phase listener budget spent reacting"),
+    )
 
     def __init__(
         self,

@@ -21,6 +21,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["RequestSpoofingAdversary"]
 
@@ -49,6 +50,11 @@ class RequestSpoofingAdversary(Adversary):
     """
 
     name = "request_spoofer"
+
+    tunable = (
+        ParamSpec("fraction", 0.05, 1.0,
+                  description="fraction of request slots attacked"),
+    )
 
     def __init__(
         self,

@@ -28,6 +28,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["SpatialJammer", "plan_disk_jam"]
 
@@ -83,6 +84,11 @@ class SpatialJammer(Adversary):
 
     name = "spatial"
 
+    tunable = (
+        ParamSpec("radius", 0.02, 0.5,
+                  description="jamming-disk radius in the unit square"),
+    )
+
     def __init__(
         self,
         center: Tuple[float, float] = (0.5, 0.5),
@@ -97,6 +103,12 @@ class SpatialJammer(Adversary):
         self.radius = float(radius)
         self.jam_request_phases = jam_request_phases
         self._victims: Optional[FrozenSet[int]] = None
+
+    def _set_parameter(self, name: str, value: float) -> None:
+        # The victim set is a function of the disk, so a resized clone must
+        # re-resolve it at its next bind.
+        super()._set_parameter(name, value)
+        self._victims = None
 
     # ------------------------------------------------------------------ #
     # Topology binding                                                    #

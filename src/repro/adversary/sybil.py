@@ -18,6 +18,7 @@ from ..simulation.channel import JamTargeting
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import JamPlan, PhaseContext, PhaseKind
 from .base import Adversary
+from .parameters import ParamSpec
 
 __all__ = ["SpoofingAdversary"]
 
@@ -38,6 +39,13 @@ class SpoofingAdversary(Adversary):
     """
 
     name = "spoofing"
+
+    tunable = (
+        ParamSpec("payload_fraction", 0.0, 1.0,
+                  description="fraction of payload slots overwritten with fakes"),
+        ParamSpec("nack_fraction", 0.0, 1.0,
+                  description="fraction of request slots filled with spoofed nacks"),
+    )
 
     def __init__(
         self,

@@ -19,7 +19,13 @@ from ..core.outcome import BroadcastOutcome
 from .bounds import cost_exponent
 from .fitting import PowerLawFit, fit_power_law_with_offset
 
-__all__ = ["CompetitivenessReport", "analyze_outcomes", "summarize_ratios"]
+__all__ = [
+    "CompetitivenessReport",
+    "ExponentFit",
+    "analyze_outcomes",
+    "fit_cell_exponent",
+    "summarize_ratios",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +114,130 @@ def analyze_outcomes(
         alice_fit=alice_fit,
         node_fit=node_fit,
         predicted_exponent=cost_exponent(k),
+    )
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """A tournament cell's fitted cost exponent, or a flagged sentinel.
+
+    The tournament fits ``cost ≈ c · T^ρ`` per (adversary, protocol,
+    topology) cell, but many cells are legitimately degenerate — a spatial
+    jammer on a single-hop network never spends, a capped adversary's spend
+    saturates, a baseline's cost is flat in ``T``.  Those cells come back
+    *flagged* with ``reason`` set instead of raising or diverging, so a
+    full leaderboard sweep never aborts on one pathological cell.
+
+    ``ci_low``/``ci_high`` bound the exponent with a large-sample 95%
+    interval from the log–log regression slope's standard error — a
+    deterministic quantity (no bootstrap resampling), which keeps
+    LEADERBOARD.md byte-identical across regenerations.
+    """
+
+    exponent: float
+    ci_low: float
+    ci_high: float
+    r_squared: float
+    n_points: int
+    flagged: bool = False
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.flagged
+
+    def label(self) -> str:
+        """Compact table cell: ``0.312 [0.28, 0.35]`` or ``— (reason)``."""
+
+        if self.flagged:
+            return f"— ({self.reason})"
+        return f"{self.exponent:.3f} [{self.ci_low:.2f}, {self.ci_high:.2f}]"
+
+    def as_record(self) -> dict:
+        return {
+            "exponent": self.exponent,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "r_squared": self.r_squared,
+            "n_points": self.n_points,
+            "flagged": self.flagged,
+            "reason": self.reason,
+        }
+
+
+def _flagged(reason: str, n_points: int, exponent: float = float("nan")) -> ExponentFit:
+    return ExponentFit(
+        exponent=exponent,
+        ci_low=float("nan"),
+        ci_high=float("nan"),
+        r_squared=float("nan"),
+        n_points=n_points,
+        flagged=True,
+        reason=reason,
+    )
+
+
+def fit_cell_exponent(
+    spends: Sequence[float],
+    costs: Sequence[float],
+    *,
+    min_spend: float = 1.0,
+    flat_rtol: float = 0.05,
+    min_spend_ratio: float = 2.0,
+) -> ExponentFit:
+    """Fit ``cost ≈ c · spend^ρ`` for one tournament cell, never raising.
+
+    Points with spend below ``min_spend`` (the no-jamming anchor) are
+    dropped before fitting.  Degenerate series return a flagged sentinel:
+
+    * fewer than two usable points → ``insufficient-points``;
+    * all costs ≤ 0 → ``zero-cost``;
+    * spend dynamic range below ``min_spend_ratio`` → ``degenerate-spend-range``
+      (a slope over a near-constant abscissa is noise, not an exponent);
+    * costs flat within ``flat_rtol`` → ``flat-cost`` with exponent 0.0 —
+      the protocol's spend demonstrably does not scale with Carol's.
+    """
+
+    x = np.asarray(spends, dtype=float)
+    y = np.asarray(costs, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"spends and costs must have the same shape, got {x.shape} vs {y.shape}")
+
+    usable = np.isfinite(x) & np.isfinite(y) & (x >= min_spend) & (x > 0)
+    x, y = x[usable], y[usable]
+    if x.size >= 1 and np.all(y <= 0):
+        return _flagged("zero-cost", int(x.size))
+    positive = y > 0
+    x, y = x[positive], y[positive]
+    n = int(x.size)
+    if n < 2:
+        return _flagged("insufficient-points", n)
+    if float(x.max()) < min_spend_ratio * float(x.min()):
+        return _flagged("degenerate-spend-range", n)
+    if float(y.max() - y.min()) <= flat_rtol * float(y.max()):
+        return _flagged("flat-cost", n, exponent=0.0)
+
+    order = np.argsort(x, kind="stable")
+    log_x = np.log(x[order])
+    log_y = np.log(y[order])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predictions = slope * log_x + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+
+    if n > 2:
+        sxx = float(np.sum((log_x - log_x.mean()) ** 2))
+        se = float(np.sqrt((residual / (n - 2)) / sxx)) if sxx > 0 else 0.0
+    else:
+        se = 0.0  # two points pin the line; the interval collapses
+    half_width = 1.96 * se
+    return ExponentFit(
+        exponent=float(slope),
+        ci_low=float(slope - half_width),
+        ci_high=float(slope + half_width),
+        r_squared=float(r_squared),
+        n_points=n,
     )
 
 

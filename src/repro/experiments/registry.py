@@ -1,6 +1,6 @@
 """Experiment registry.
 
-Maps experiment ids (E1 … E13) to their runner functions so the benchmark
+Maps experiment ids (E1 … E14) to their runner functions so the benchmark
 harness, the examples, and EXPERIMENTS.md generation can iterate over every
 reproduced claim uniformly.
 """
@@ -24,6 +24,7 @@ from . import (
     exp_reactive,
     exp_size_estimate,
     exp_spoofing,
+    exp_tournament,
 )
 from .harness import ExperimentResult, ExperimentSettings
 
@@ -54,6 +55,7 @@ _MODULES = [
     exp_multihop,
     exp_mobile_jammer,
     exp_quiet_rule,
+    exp_tournament,
 ]
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

@@ -1,0 +1,54 @@
+"""Adversary–protocol tournament: round-robin grid, exponent fits, search.
+
+The tournament answers the question the scattered E-numbered experiments
+only sample: *which* adversary drives each protocol variant's cost growth
+hardest, measured by the fitted resource-competitiveness exponent per
+(adversary × protocol × topology) cell at matched budgets.  See
+``tools/generate_leaderboard_md.py`` for the rendered LEADERBOARD.md.
+"""
+
+from .harness import (
+    SPEND_FRACTIONS,
+    CellResult,
+    TournamentCell,
+    TournamentResult,
+    run_tournament,
+    tournament_cells,
+    tournament_trial,
+)
+from .optimize import OptimisationResult, cell_score, optimise_cell
+from .roster import (
+    JAM_RADIUS,
+    ProtocolEntry,
+    TopologyEntry,
+    adversary_roster,
+    adversary_supports_topology,
+    build_adversary,
+    build_protocol,
+    build_topology_spec,
+    protocol_roster,
+    topology_grid,
+)
+
+__all__ = [
+    "JAM_RADIUS",
+    "SPEND_FRACTIONS",
+    "CellResult",
+    "OptimisationResult",
+    "ProtocolEntry",
+    "TopologyEntry",
+    "TournamentCell",
+    "TournamentResult",
+    "adversary_roster",
+    "adversary_supports_topology",
+    "build_adversary",
+    "build_protocol",
+    "build_topology_spec",
+    "cell_score",
+    "optimise_cell",
+    "protocol_roster",
+    "run_tournament",
+    "topology_grid",
+    "tournament_cells",
+    "tournament_trial",
+]

@@ -135,7 +135,7 @@ class TestWorkloads:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 14)]
+        assert experiment_ids() == [f"E{i}" for i in range(1, 15)]
         for spec in EXPERIMENTS.values():
             assert spec.title and spec.claim
 

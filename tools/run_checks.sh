@@ -55,6 +55,10 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     run_step "million-device pipelined benchmark smoke" \
         python benchmarks/bench_million_device.py --smoke
+
+    REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
+        run_step "tournament benchmark smoke (E14 grid + parallel identity + worst-case search)" \
+        python benchmarks/bench_tournament.py --smoke --jobs 2
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
