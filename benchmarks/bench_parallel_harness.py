@@ -37,9 +37,12 @@ import sys
 import tempfile
 import time
 
+from contextlib import nullcontext
+
 from repro.experiments import ExperimentSettings
 from repro.experiments.registry import experiment_ids, run_experiment
-from repro.experiments.runner import EXECUTION_STATS
+from repro.experiments.runner import EXECUTION_STATS, progress_scope
+from repro.observability import CliProgressRenderer
 
 
 def run_registry(settings: ExperimentSettings) -> dict:
@@ -76,6 +79,12 @@ def main() -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="CI-sized run: n = 64, 1 trial, jobs 1,2"
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr per registry pass "
+        "(off by default; measurements and acceptance output are unchanged)",
+    )
     args = parser.parse_args()
 
     n = args.n if args.n is not None else (64 if args.smoke else 256)
@@ -89,6 +98,17 @@ def main() -> int:
     base = dict(n=n, trials=trials, quick=True, seed=2012)
     failures = 0
 
+    def registry_pass(label: str, settings: ExperimentSettings) -> dict:
+        """One full-registry run, optionally followed by a live progress line."""
+
+        renderer = CliProgressRenderer(label=label) if args.progress else None
+        follower = progress_scope(renderer) if renderer is not None else nullcontext()
+        with follower:
+            results = run_registry(settings)
+        if renderer is not None:
+            renderer.finish()
+        return results
+
     # -- 1 & 2: speedup vs jobs, with bit-identity against the serial rows --
     print(f"== registry speedup vs jobs (n = {n}, trials = {trials}, cache off) ==")
     reference = None
@@ -96,7 +116,7 @@ def main() -> int:
     for jobs in jobs_sweep:
         settings = ExperimentSettings(**base, jobs=jobs, cache_dir="")
         start = time.perf_counter()
-        results = run_registry(settings)
+        results = registry_pass(f"jobs={jobs}", settings)
         elapsed = time.perf_counter() - start
         if reference is None:
             reference, serial_seconds = results, elapsed
@@ -111,12 +131,12 @@ def main() -> int:
     try:
         settings = ExperimentSettings(**base, jobs=jobs_sweep[-1], cache_dir=cache_dir)
         start = time.perf_counter()
-        cold = run_registry(settings)
+        cold = registry_pass("cache-cold", settings)
         cold_seconds = time.perf_counter() - start
 
         before = EXECUTION_STATS.snapshot()
         start = time.perf_counter()
-        warm = run_registry(settings)
+        warm = registry_pass("cache-warm", settings)
         warm_seconds = time.perf_counter() - start
         delta = EXECUTION_STATS.since(before)
 

@@ -38,9 +38,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from conftest import bench_settings  # noqa: E402
 
+from contextlib import nullcontext  # noqa: E402
+
 from repro.experiments import ExperimentSettings, render_result  # noqa: E402
 from repro.experiments.registry import run_experiment  # noqa: E402
-from repro.experiments.runner import track_stats  # noqa: E402
+from repro.experiments.runner import progress_scope, track_stats  # noqa: E402
+from repro.observability import CliProgressRenderer  # noqa: E402
 from repro.tournament import (  # noqa: E402
     TournamentCell,
     adversary_roster,
@@ -130,6 +133,12 @@ def main() -> int:
         default=None,
         help="worker processes for the E14 run and the identity check (default: REPRO_JOBS or 1)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr during the E14 grid "
+        "(off by default; acceptance output is unchanged either way)",
+    )
     args = parser.parse_args()
 
     failures = 0
@@ -138,9 +147,14 @@ def main() -> int:
     settings = bench_settings()
     if args.jobs is not None:
         settings = dataclasses.replace(settings, jobs=args.jobs)
+    renderer = CliProgressRenderer(label="E14") if args.progress else None
+    follower = progress_scope(renderer) if renderer is not None else nullcontext()
     start = time.perf_counter()
-    with track_stats() as stats:
-        result = run_experiment("E14", settings)
+    with follower:
+        with track_stats() as stats:
+            result = run_experiment("E14", settings)
+    if renderer is not None:
+        renderer.finish()
     elapsed = time.perf_counter() - start
     print(render_result(result))
     print(

@@ -33,6 +33,7 @@ from ..simulation.fastengine import PhaseEngine
 from ..simulation.metrics import CostBreakdown, DeliveryStats
 from ..simulation.network import Network
 from ..simulation.phaseplan import PhaseContext, PhaseKind, PhasePlan, PhaseResult, PhaseRoles
+from ..observability.trace import NULL_RECORDER, TraceEvent, TraceRecorder
 from .alice import AlicePolicy
 from .outcome import BroadcastOutcome
 from .params import ProtocolParameters
@@ -76,6 +77,13 @@ class EpsilonBroadcast:
         Defaults to Figure 1 for ``k = 2`` and Figure 2 otherwise.
     decoy_traffic:
         Enable the §4.1 decoy-traffic modification.
+    recorder:
+        A :class:`~repro.observability.trace.TraceRecorder` to stream
+        phase-level telemetry to; defaults to the no-op
+        :data:`~repro.observability.trace.NULL_RECORDER`.  When given, it is
+        also installed on the execution engine so channel-level ``"engine"``
+        events land in the same trace.  Recording is strictly read-only:
+        traced runs are bit-identical to untraced ones.
     """
 
     protocol_name = "epsilon-broadcast"
@@ -90,8 +98,10 @@ class EpsilonBroadcast:
         record_events: bool = True,
         figure: Optional[int] = None,
         decoy_traffic: bool = False,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.config = config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.adversary = adversary if adversary is not None else NullAdversary()
         self.params = params if params is not None else ProtocolParameters.from_config(config)
         if self.params.k != config.k:
@@ -100,6 +110,11 @@ class EpsilonBroadcast:
             )
         self.network = network if network is not None else Network(config)
         self.engine = self._resolve_engine(engine)
+        if recorder is not None:
+            # Same sink for orchestrator-level "phase" events and the engine's
+            # channel-level "engine" events; pre-built engines keep whatever
+            # recorder they were constructed with unless one is given here.
+            self.engine.recorder = self.recorder
         # Strategies that depend on the realised topology (e.g. spatial disk
         # jammers) override the bind_network hook; the base default is a no-op.
         self.adversary.bind_network(self.network)
@@ -160,6 +175,9 @@ class EpsilonBroadcast:
         max_round = self.params.resolved_max_round(self.config.n)
         terminated_by_cap = False
 
+        if self.recorder.enabled:
+            self.recorder.record(TraceEvent(kind="run-start", data=self._run_start_data()))
+
         round_index = start_round
         while round_index <= max_round:
             for plan in self._iter_round_phases(round_index, state):
@@ -178,7 +196,39 @@ class EpsilonBroadcast:
         # delivery by population (e.g. a spatial jammer's victims) need node
         # identities, which the aggregate outcome deliberately drops.
         self.final_state = state
-        return self._build_outcome(state, clock, log, terminated_by_cap)
+        outcome = self._build_outcome(state, clock, log, terminated_by_cap)
+        if self.recorder.enabled:
+            snapshot = self.network.cost_snapshot()
+            self.recorder.record(
+                TraceEvent(
+                    kind="run-end",
+                    round_index=round_index if not terminated_by_cap else max_round,
+                    data={
+                        "informed": outcome.delivery.informed,
+                        "slots_elapsed": outcome.delivery.slots_elapsed,
+                        "rounds_executed": outcome.delivery.rounds_executed,
+                        "terminated_by_cap": terminated_by_cap,
+                        "alice_cost": float(snapshot["alice"]),
+                        "adversary_spend": float(snapshot["adversary"]),
+                        "nodes_cost": float(snapshot["node_total"]),
+                    },
+                )
+            )
+        return outcome
+
+    def _run_start_data(self) -> Dict[str, object]:
+        """Payload of the ``"run-start"`` event (variants extend it)."""
+
+        spec = self.config.topology
+        return {
+            "protocol": self.protocol_name,
+            "adversary": getattr(self.adversary, "name", type(self.adversary).__name__),
+            "engine": type(self.engine).__name__,
+            "n": self.config.n,
+            "seed": self.config.seed,
+            "k": self.params.k,
+            "topology": spec.kind if spec is not None else "single_hop",
+        }
 
     # ------------------------------------------------------------------ #
     # Per-phase machinery                                                 #
@@ -266,6 +316,8 @@ class EpsilonBroadcast:
         self._apply_result(plan, roles, result, state, round_index, clock)
 
         self.adversary.observe_result(context, result)
+        alice_delta = self.network.alice_cost - alice_before
+        nodes_delta = float(self.network.node_costs().sum()) - nodes_before
         # Phase records are cheap (one per phase) and outcome assembly relies
         # on them, so they are always recorded; ``record_events`` only controls
         # whether the log is attached to the returned outcome.
@@ -278,13 +330,42 @@ class EpsilonBroadcast:
                 jammed_slots=result.jammed_slots,
                 adversary_spend=result.adversary_spend,
                 newly_informed=len(result.newly_informed),
-                alice_cost=self.network.alice_cost - alice_before,
-                nodes_cost=float(self.network.node_costs().sum()) - nodes_before,
+                alice_cost=alice_delta,
+                nodes_cost=nodes_delta,
                 active_uninformed_after=state.active_uninformed_count(),
                 terminated_after=state.terminated_informed_count()
                 + state.terminated_uninformed_count(),
             )
         )
+        if self.recorder.enabled:
+            self.recorder.record(
+                TraceEvent(
+                    kind="phase",
+                    round_index=round_index,
+                    phase=plan.name,
+                    data={
+                        "kind": plan.kind.value,
+                        "step": plan.step,
+                        "num_slots": plan.num_slots,
+                        "start_slot": clock.now - plan.num_slots,
+                        "newly_informed": len(result.newly_informed),
+                        "informed_total": state.informed_count(),
+                        "frontier": state.active_informed_count(),
+                        "active_uninformed": state.active_uninformed_count(),
+                        "terminated_informed": state.terminated_informed_count(),
+                        "terminated_uninformed": state.terminated_uninformed_count(),
+                        "jammed_slots": result.jammed_slots,
+                        "busy_slots": result.busy_slots,
+                        "delivery_slots": result.delivery_slots,
+                        "spoofed_transmissions": result.spoofed_transmissions,
+                        "adversary_spend": result.adversary_spend,
+                        "alice_cost": alice_delta,
+                        "nodes_cost": nodes_delta,
+                        "alice_noisy_heard": result.alice_noisy_heard,
+                        "request_noisy_total": float(sum(result.node_noisy_heard.values())),
+                    },
+                )
+            )
         return result
 
     def _apply_result(
@@ -328,6 +409,18 @@ class EpsilonBroadcast:
     def _finalize_at_cap(self, state: ProtocolState, max_round: int) -> None:
         """Force-terminate every remaining participant at the safety cap."""
 
+        if self.recorder.enabled:
+            self.recorder.record(
+                TraceEvent(
+                    kind="cap",
+                    round_index=max_round,
+                    data={
+                        "active_informed": state.active_informed_count(),
+                        "active_uninformed": state.active_uninformed_count(),
+                        "alice_active": not state.alice_terminated,
+                    },
+                )
+            )
         state.terminate_informed(state.active_informed_array(), max_round)
         state.terminate_uninformed(state.active_uninformed_array(), max_round)
         state.terminate_alice(max_round)
@@ -460,6 +553,12 @@ class MultiHopBroadcast(EpsilonBroadcast):
         self._extra_step_cache: Dict[tuple, PhasePlan] = {}
         super().__init__(*args, **kwargs)
 
+    def _run_start_data(self) -> Dict[str, object]:
+        data = super()._run_start_data()
+        data["pipeline"] = self.pipeline
+        data["quiet_rule"] = type(self.quiet_rule).__name__
+        return data
+
     def _iter_round_phases(self, round_index: int, state: ProtocolState):
         """The multi-hop round schedule, extended while frontiers are in flight.
 
@@ -573,6 +672,18 @@ class MultiHopBroadcast(EpsilonBroadcast):
         exhausted = active[streaks[active] >= budgets[active]]
         if exhausted.size:
             state.terminate_uninformed(exhausted, round_index)
+            if self.recorder.enabled:
+                self.recorder.record(
+                    TraceEvent(
+                        kind="quiet-expire",
+                        round_index=round_index,
+                        phase="request",
+                        data={
+                            "count": int(exhausted.size),
+                            "rule": type(self.quiet_rule).__name__,
+                        },
+                    )
+                )
 
     def _truncate_stalled(self, state: ProtocolState, round_index: int) -> None:
         """Cap-aware schedule truncation: give up on provably unreachable nodes.
@@ -617,6 +728,18 @@ class MultiHopBroadcast(EpsilonBroadcast):
         doomed = stuck[~reached[stuck]]
         if doomed.size:
             state.terminate_uninformed(doomed, round_index)
+            if self.recorder.enabled:
+                self.recorder.record(
+                    TraceEvent(
+                        kind="truncate",
+                        round_index=round_index,
+                        phase="request",
+                        data={
+                            "count": int(doomed.size),
+                            "still_stuck": int(stuck.size - doomed.size),
+                        },
+                    )
+                )
 
     def _retire_satisfied_relays(self, state: ProtocolState, round_index: int) -> None:
         relays = state.active_informed_array()

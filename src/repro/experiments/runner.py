@@ -26,16 +26,36 @@ Three invariants make parallel runs **bit-identical** to serial ones:
 Caching happens in the parent: hits are served before any work is dispatched,
 misses are executed (in the pool or inline) and written back afterwards, so
 workers never touch the store concurrently.
+
+Observability
+-------------
+
+Two opt-in, parent-side instruments ride on the runner without touching the
+invariants above:
+
+* **Progress** — with a sink active (:func:`progress_scope`, or the
+  ``progress=`` keyword), :func:`run_sweep` emits one
+  :class:`~repro.observability.progress.ProgressEvent` per completed work
+  unit — cache hits during the scan, computed trials as the streaming
+  collection receives them.  Events are emitted in the parent only, and with
+  no sink active the runner never even reads the clock, so instrumented and
+  plain sweeps produce byte-identical results and documents.
+* **Stage spans** — inside a :func:`span_scope`, the :func:`timed_span`
+  contextmanager attributes wall-clock to the runner's stages (``schedule``,
+  ``fan-out``, ``reassemble``); ``tools/trace_report.py`` renders them.
+  With no scope open ``timed_span`` is a no-op that skips the clock.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..observability.progress import ProgressEvent
 from .cache import TrialCache, trial_key
 from .harness import ExperimentSettings
 
@@ -44,6 +64,10 @@ __all__ = [
     "ExecutionStats",
     "EXECUTION_STATS",
     "track_stats",
+    "TimedSpan",
+    "span_scope",
+    "timed_span",
+    "progress_scope",
     "run_sweep",
     "run_point",
 ]
@@ -151,6 +175,89 @@ def _count(field_name: str) -> None:
         setattr(sink, field_name, getattr(sink, field_name) + 1)
 
 
+@dataclass(frozen=True)
+class TimedSpan:
+    """One named wall-clock measurement recorded by :func:`timed_span`."""
+
+    name: str
+    seconds: float
+
+
+_SPAN_SINKS: List[List[TimedSpan]] = []
+
+
+@contextmanager
+def span_scope() -> Iterator[List[TimedSpan]]:
+    """Collect :func:`timed_span` measurements made while the scope is open.
+
+    ::
+
+        with span_scope() as spans:
+            run_sweep(specs, settings)
+        for span in spans:
+            print(span.name, span.seconds)
+
+    Scopes nest — each open scope receives every span.  Convert the collected
+    list with :func:`repro.observability.report.span_events` to store it in a
+    JSONL trace alongside run events.
+    """
+
+    spans: List[TimedSpan] = []
+    _SPAN_SINKS.append(spans)
+    try:
+        yield spans
+    finally:
+        _SPAN_SINKS.remove(spans)
+
+
+@contextmanager
+def timed_span(name: str) -> Iterator[None]:
+    """Attribute the wall-clock of the enclosed block to ``name``.
+
+    A profiling primitive, not a profiler: with no :func:`span_scope` open it
+    yields immediately without reading the clock, so permanently-wrapped code
+    (the runner's stages) costs one list check per span when unobserved.
+    """
+
+    if not _SPAN_SINKS:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        span = TimedSpan(name=name, seconds=time.perf_counter() - start)
+        for sink in _SPAN_SINKS:
+            sink.append(span)
+
+
+_PROGRESS_SINKS: List[Callable[[ProgressEvent], None]] = []
+
+
+@contextmanager
+def progress_scope(sink: Callable[[ProgressEvent], None]) -> Iterator[Callable[[ProgressEvent], None]]:
+    """Register ``sink`` to receive one event per work unit of enclosed sweeps.
+
+    ::
+
+        renderer = CliProgressRenderer(label="E11")
+        with progress_scope(renderer):
+            run_experiment("E11", settings)
+        renderer.finish()
+
+    The scoped registration means registered experiments need no signature
+    changes to become followable; the ``progress=`` keyword of
+    :func:`run_sweep` covers direct calls.  Scopes nest — every open sink
+    receives every event.
+    """
+
+    _PROGRESS_SINKS.append(sink)
+    try:
+        yield sink
+    finally:
+        _PROGRESS_SINKS.remove(sink)
+
+
 def _run_unit(unit: Tuple[Callable[..., Dict[str, object]], int, Dict[str, object]]):
     """Execute one (function, seed, params) work unit; the pool's map target."""
 
@@ -179,6 +286,7 @@ def run_sweep(
     *,
     jobs: Optional[int] = None,
     cache: Optional[TrialCache] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> List[List[Dict[str, object]]]:
     """Run every spec's trials, parallel and cache-aware; records per spec, in order.
 
@@ -195,6 +303,11 @@ def run_sweep(
     cache:
         Trial-store override; ``None`` defers to the settings/env (and no
         configured directory means caching is off).
+    progress:
+        Extra progress sink for this call, on top of any open
+        :func:`progress_scope`.  One event fires per completed work unit,
+        from the parent process only; with no sink anywhere the runner never
+        reads the clock.
 
     Returns
     -------
@@ -209,30 +322,53 @@ def run_sweep(
         cache_dir = settings.resolved_cache_dir
         cache = TrialCache(cache_dir) if cache_dir is not None else None
 
+    sinks: List[Callable[[ProgressEvent], None]] = list(_PROGRESS_SINKS)
+    if progress is not None:
+        sinks.append(progress)
+    total = len(specs) * settings.trials
+    completed = 0
+    sweep_start = time.perf_counter() if sinks else 0.0
+
+    def emit(labels: Tuple[object, ...], trial_index: int, cache_hit: bool) -> None:
+        event = ProgressEvent(
+            labels=labels,
+            trial_index=trial_index,
+            cache_hit=cache_hit,
+            completed=completed,
+            total=total,
+            elapsed=time.perf_counter() - sweep_start,
+        )
+        for sink in sinks:
+            sink(event)
+
     results: List[List[Optional[Dict[str, object]]]] = [
         [None] * settings.trials for _ in specs
     ]
     # (spec index, trial index, cache key or None, work unit) for every trial
     # the cache could not serve, in deterministic submission order.
     pending: List[Tuple[int, int, Optional[str], Tuple]] = []
-    for spec_index, spec in enumerate(specs):
-        for trial_index in range(settings.trials):
-            seed = settings.trial_seed(*spec.labels, trial_index)
-            key: Optional[str] = None
-            if cache is not None:
-                key = trial_key(spec.trial_fn, spec.labels, seed, spec.params)
-                record = cache.get(key)
-                if record is not None:
-                    _count("cache_hits")
-                    # Refresh the entry's mtime so prune()'s LRU order keeps
-                    # recently *served* records, not just recently written ones.
-                    cache.touch(key)
-                    results[spec_index][trial_index] = record
-                    continue
-                _count("cache_misses")
-            pending.append(
-                (spec_index, trial_index, key, (spec.trial_fn, seed, dict(spec.params)))
-            )
+    with timed_span("schedule"):
+        for spec_index, spec in enumerate(specs):
+            for trial_index in range(settings.trials):
+                seed = settings.trial_seed(*spec.labels, trial_index)
+                key: Optional[str] = None
+                if cache is not None:
+                    key = trial_key(spec.trial_fn, spec.labels, seed, spec.params)
+                    record = cache.get(key)
+                    if record is not None:
+                        _count("cache_hits")
+                        # Refresh the entry's mtime so prune()'s LRU order keeps
+                        # recently *served* records, not just recently written ones.
+                        cache.touch(key)
+                        results[spec_index][trial_index] = record
+                        if sinks:
+                            completed += 1
+                            emit(spec.labels, trial_index, True)
+                        continue
+                    _count("cache_misses")
+                pending.append(
+                    (spec_index, trial_index, key, (spec.trial_fn, seed, dict(spec.params)))
+                )
 
     if pending:
         workers = min(jobs, len(pending))
@@ -244,27 +380,41 @@ def run_sweep(
             # finished before the interruption: the "resume an interrupted
             # sweep" promise of the trial cache, with `executed` staying
             # truthful for stats consumers that span a failed run.
+            nonlocal completed
             for (spec_index, trial_index, key, _), record in zip(pending, records):
                 _count("executed")
                 results[spec_index][trial_index] = record
                 if cache is not None and key is not None:
                     cache.put(key, record)
+                if sinks:
+                    completed += 1
+                    emit(specs[spec_index].labels, trial_index, False)
 
-        if workers <= 1:
-            collect(_run_unit(unit) for _, _, _, unit in pending)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                collect(
-                    pool.map(
-                        _run_unit,
-                        [unit for _, _, _, unit in pending],
-                        chunksize=_chunksize(len(pending), workers),
+        with timed_span("fan-out"):
+            if workers <= 1:
+                collect(_run_unit(unit) for _, _, _, unit in pending)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_pool_context()
+                ) as pool:
+                    collect(
+                        pool.map(
+                            _run_unit,
+                            [unit for _, _, _, unit in pending],
+                            chunksize=_chunksize(len(pending), workers),
+                        )
                     )
-                )
 
-    return results  # type: ignore[return-value] - every slot is filled above
+    with timed_span("reassemble"):
+        out: List[List[Dict[str, object]]] = []
+        for spec_index, records in enumerate(results):
+            if any(record is None for record in records):  # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"sweep left unfilled trials for spec {spec_index} "
+                    f"({specs[spec_index].labels!r})"
+                )
+            out.append(records)  # type: ignore[arg-type] - checked above
+    return out
 
 
 def run_point(

@@ -1,0 +1,190 @@
+"""Live sweep progress: per-work-unit events, aggregation, CLI rendering.
+
+The experiment runner (:func:`repro.experiments.runner.run_sweep`) completes
+one *work unit* per (sweep point × trial) — served from the trial cache or
+computed by a worker process — and, when a progress sink is active, emits one
+:class:`ProgressEvent` per unit **in the parent process**.  Nothing here runs
+in a worker, so progress observation cannot perturb trial execution, and with
+no sink active the runner does not even read the clock.
+
+:class:`ProgressMonitor` folds the event stream into throughput / ETA /
+cache-hit-rate aggregates; :class:`CliProgressRenderer` draws a throttled
+single-line follower on a terminal stream (opt-in via ``--progress`` on the
+generator tools and benchmarks — off by default, so generated documents and
+benchmark output stay byte-identical).
+
+This event shape is deliberately the wire format of the ROADMAP's distributed
+sweep fabric: a remote coordinator streaming per-unit completions to a
+dashboard sends exactly these fields.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO, Optional, Tuple
+
+__all__ = ["ProgressEvent", "ProgressMonitor", "CliProgressRenderer"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed work unit of a sweep.
+
+    Attributes
+    ----------
+    labels:
+        The sweep-point labels of the unit's :class:`~repro.experiments.runner.TrialSpec`.
+    trial_index:
+        Trial number within the sweep point.
+    cache_hit:
+        Whether the unit was served from the trial store (``True``) or
+        computed (``False``).
+    completed:
+        Units completed so far in this sweep, including this one.
+    total:
+        Total units of the sweep (``len(specs) × settings.trials``).
+    elapsed:
+        Parent-side wall-clock seconds since the sweep started.
+    """
+
+    labels: Tuple[object, ...]
+    trial_index: int
+    cache_hit: bool
+    completed: int
+    total: int
+    elapsed: float
+
+
+class ProgressMonitor:
+    """Aggregate a :class:`ProgressEvent` stream into rates and an ETA.
+
+    Feed it events via :meth:`observe` (the callable shape the runner's
+    progress sinks expect).  Sweeps may arrive back to back — an experiment
+    is often several nested ``run_sweep`` calls — so the monitor detects
+    sweep boundaries (the per-event ``completed`` counter restarting, or the
+    per-sweep ``total`` changing) and accumulates totals and wall-clock
+    across them.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.total = 0
+        self._sweep_total: Optional[int] = None
+        self._last_completed = 0
+        self._banked_elapsed = 0.0
+        self._current_elapsed = 0.0
+
+    def observe(self, event: ProgressEvent) -> None:
+        new_sweep = (
+            self._sweep_total is None
+            or event.total != self._sweep_total
+            or event.completed <= self._last_completed
+        )
+        if new_sweep:
+            self.total += event.total
+            self._sweep_total = event.total
+            self._banked_elapsed += self._current_elapsed
+            self._current_elapsed = 0.0
+        self._last_completed = event.completed
+        self._current_elapsed = max(self._current_elapsed, event.elapsed)
+        self.completed += 1
+        if event.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds across all observed sweeps."""
+
+        return self._banked_elapsed + self._current_elapsed
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.completed, 0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed units per second of sweep wall-clock (0 before any time passes)."""
+
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to finish the current totals, or ``None`` pre-throughput."""
+
+        rate = self.throughput
+        if rate <= 0.0:
+            return None
+        return self.remaining / rate
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed units served by the trial store."""
+
+        if self.completed == 0:
+            return 0.0
+        return self.cache_hits / self.completed
+
+    def status_line(self) -> str:
+        """A compact human-readable one-liner of the current aggregates."""
+
+        eta = self.eta_seconds
+        eta_text = f"{eta:.0f}s" if eta is not None else "—"
+        return (
+            f"{self.completed}/{self.total} units  "
+            f"{self.throughput:.1f}/s  eta {eta_text}  "
+            f"cache {self.cache_hit_rate * 100.0:.0f}%"
+        )
+
+
+class CliProgressRenderer:
+    """Throttled single-line CLI follower over a :class:`ProgressMonitor`.
+
+    Call the instance with each event (it is a valid progress sink); call
+    :meth:`finish` when the followed task completes to seal the line with a
+    newline.  Rendering goes to ``stream`` (stderr by default) so stdout and
+    generated artefacts stay byte-identical whether or not a follower is
+    attached.
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.2,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.monitor = ProgressMonitor()
+        self._last_render = 0.0
+        self._rendered_any = False
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.monitor.observe(event)
+        now = time.monotonic()
+        if (
+            event.completed == event.total
+            or now - self._last_render >= self.min_interval
+        ):
+            self._last_render = now
+            self._render()
+
+    def _render(self, end: str = "\r") -> None:
+        prefix = f"{self.label}: " if self.label else ""
+        self.stream.write(f"\r{prefix}{self.monitor.status_line()}{end}")
+        self.stream.flush()
+        self._rendered_any = True
+
+    def finish(self) -> None:
+        """Seal the follower line (newline) after the followed task completes."""
+
+        if self._rendered_any:
+            self._render(end="\n")

@@ -29,6 +29,7 @@ from .jamming import materialize_jam_slots, materialize_spoof_slots
 from .messages import Message, MessageKind, make_decoy, make_nack, make_payload, make_spoof
 from .network import Network
 from .phaseplan import JamPlan, PhaseKind, PhasePlan, PhaseResult, PhaseRoles
+from ..observability.trace import NULL_RECORDER, TraceRecorder, engine_event
 
 __all__ = ["SlotEngine"]
 
@@ -53,6 +54,10 @@ class SlotEngine:
         self._rng_alice = network.random_source.stream("engine:alice")
         self._rng_nodes = network.random_source.stream("engine:nodes")
         self._rng_adversary = network.random_source.stream("engine:adversary")
+        # Telemetry sink for channel-level "engine" events; read-only (emitted
+        # after the slot loop, from already-computed tallies) and skipped
+        # entirely while the default null recorder is installed.
+        self.recorder: TraceRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ #
     # Public API                                                          #
@@ -74,7 +79,12 @@ class SlotEngine:
         network = self.network
         s = plan.num_slots
         if s == 0:
-            return PhaseResult(plan=plan, newly_informed=frozenset(), jammed_slots=0, adversary_spend=0.0)
+            result = PhaseResult(
+                plan=plan, newly_informed=frozenset(), jammed_slots=0, adversary_spend=0.0
+            )
+            if self.recorder.enabled:
+                self.recorder.record(engine_event("empty", result))
+            return result
 
         payload = make_payload(ALICE_ID, network.message_payload, network.message_signature)
 
@@ -267,7 +277,7 @@ class SlotEngine:
             if delivered_this_slot:
                 delivery_slots += 1
 
-        return PhaseResult(
+        result = PhaseResult(
             plan=plan,
             newly_informed=frozenset(newly_informed),
             jammed_slots=jammed_slots,
@@ -280,3 +290,6 @@ class SlotEngine:
             alice_listen_slots=alice_listen_slots,
             spoofed_transmissions=spoofed_transmissions,
         )
+        if self.recorder.enabled:
+            self.recorder.record(engine_event("slot", result))
+        return result

@@ -90,6 +90,7 @@ from .energy import EnergyOperation
 from .jamming import materialize_jam_slots, materialize_spoof_slots
 from .network import Network
 from .phaseplan import JamPlan, PhaseKind, PhasePlan, PhaseResult, PhaseRoles
+from ..observability.trace import NULL_RECORDER, TraceRecorder, engine_event
 
 __all__ = ["PhaseEngine"]
 
@@ -134,6 +135,11 @@ class PhaseEngine:
     def __init__(self, network: Network) -> None:
         self.network = network
         self._rng = network.random_source.stream("fastengine")
+        # Telemetry sink for channel-level "engine" events.  Strictly
+        # read-only: emission happens after all sampling and charging, reads
+        # only already-computed tallies, and is skipped entirely while the
+        # default null recorder is installed.
+        self.recorder: TraceRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ #
     # Public API                                                          #
@@ -152,7 +158,12 @@ class PhaseEngine:
         rng = self._rng
         s = plan.num_slots
         if s == 0:
-            return PhaseResult(plan=plan, newly_informed=frozenset(), jammed_slots=0, adversary_spend=0.0)
+            result = PhaseResult(
+                plan=plan, newly_informed=frozenset(), jammed_slots=0, adversary_spend=0.0
+            )
+            if self.recorder.enabled:
+                self.recorder.record(engine_event("empty", result))
+            return result
 
         topology = network.topology
         if topology is not None and not topology.is_single_hop:
@@ -253,10 +264,12 @@ class PhaseEngine:
                 network.alice.ledger.charge_bulk(EnergyOperation.LISTEN, float(alice_listen_slots))
 
         node_noisy: Dict[int, int] = {}
+        jam_victims = 0
         if uninformed.size:
             victim = self._victim_mask(uninformed, jam_plan) if jam_affects_listeners else np.zeros(
                 uninformed.size, dtype=bool
             )
+            jam_victims = int(victim.sum())
             noisy_per_node = np.where(victim, noisy_for_victim, noisy_for_spared)
             quiet_per_node = s - noisy_per_node
 
@@ -297,7 +310,7 @@ class PhaseEngine:
             decoy_cost = rng.binomial(s, plan.decoy_send_prob, size=decoys.size)
             network.node_ledgers.charge_bulk_many(EnergyOperation.SEND, decoys, decoy_cost)
 
-        return PhaseResult(
+        result = PhaseResult(
             plan=plan,
             newly_informed=frozenset(newly_informed),
             jammed_slots=jammed_slots,
@@ -310,6 +323,17 @@ class PhaseEngine:
             alice_listen_slots=alice_listen_slots,
             spoofed_transmissions=spoofed_transmissions,
         )
+        if self.recorder.enabled:
+            self.recorder.record(
+                engine_event(
+                    "single-hop",
+                    result,
+                    jam_victims=jam_victims,
+                    noisy_for_victim=noisy_for_victim,
+                    noisy_for_spared=noisy_for_spared,
+                )
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # Multi-hop (spatial-topology) execution                              #
@@ -405,6 +429,7 @@ class PhaseEngine:
         newly_informed: Set[int] = set()
         node_noisy: Dict[int, int] = {}
         delivery_slots = 0
+        jam_victims = 0
         if num_u:
             # Authentic payload copies audible to each listener: Alice's sends
             # if she is in range, plus in-range relays (spoofed "payloads" are
@@ -435,6 +460,7 @@ class PhaseEngine:
                 if jam_affects_listeners
                 else np.zeros(num_u, dtype=bool)
             )
+            jam_victims = int(victim.sum())
             jam_for_node = jam_mask[None, :] & victim[:, None]
 
             clean_delivery = (payload_heard == 1) & (other_heard == 0) & ~jam_for_node
@@ -510,7 +536,7 @@ class PhaseEngine:
                 EnergyOperation.SEND, decoys, decoy_sends.sum(axis=1)
             )
 
-        return PhaseResult(
+        result = PhaseResult(
             plan=plan,
             newly_informed=frozenset(newly_informed),
             jammed_slots=jammed_slots,
@@ -523,6 +549,9 @@ class PhaseEngine:
             alice_listen_slots=alice_listen_slots,
             spoofed_transmissions=spoofed_transmissions,
         )
+        if self.recorder.enabled:
+            self.recorder.record(engine_event("multihop-dense", result, jam_victims=jam_victims))
+        return result
 
     # ------------------------------------------------------------------ #
     # Sparse multi-hop (CSR-topology) execution                           #
@@ -801,7 +830,7 @@ class PhaseEngine:
                 EnergyOperation.SEND, decoys, np.bincount(decoy_idx, minlength=num_d)
             )
 
-        return PhaseResult(
+        result = PhaseResult(
             plan=plan,
             newly_informed=frozenset(newly_informed),
             jammed_slots=jammed_slots,
@@ -814,6 +843,11 @@ class PhaseEngine:
             alice_listen_slots=alice_listen_slots,
             spoofed_transmissions=spoofed_transmissions,
         )
+        if self.recorder.enabled:
+            self.recorder.record(
+                engine_event("multihop-sparse", result, jam_victims=int(victim.sum()))
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # Internals                                                           #

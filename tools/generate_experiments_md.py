@@ -31,9 +31,12 @@ import sys
 import time
 from datetime import date
 
+from contextlib import nullcontext
+
 from repro.experiments import ExperimentSettings, render_result, render_table
 from repro.experiments.registry import experiment_ids, run_experiment
-from repro.experiments.runner import track_stats
+from repro.experiments.runner import progress_scope, track_stats
+from repro.observability import CliProgressRenderer
 
 COMMENTARY = {
     "E1": (
@@ -225,6 +228,13 @@ def main() -> None:
         help="content-addressed trial store to reuse (default: REPRO_CACHE_DIR or off)",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live per-experiment progress line on stderr (off by "
+        "default; rendering goes to stderr only, so the generated document "
+        "is byte-identical either way)",
+    )
+    parser.add_argument(
         "--prune-cache",
         action="store_true",
         help="after generation, evict trial-store entries beyond the byte/age "
@@ -260,17 +270,25 @@ def main() -> None:
         # global: registry experiments may themselves run nested sweeps, and
         # snapshot arithmetic against the mutable global cross-contaminated
         # back-to-back experiments in one process.
+        renderer = CliProgressRenderer(label=eid) if args.progress else None
+        follower = progress_scope(renderer) if renderer is not None else nullcontext()
         start = time.perf_counter()
-        with track_stats() as stats:
-            result = run_experiment(eid, settings)
+        with follower:
+            with track_stats() as stats:
+                result = run_experiment(eid, settings)
         elapsed = time.perf_counter() - start
+        if renderer is not None:
+            renderer.finish()
         results.append(result)
+        trials_total = stats.executed + stats.cache_hits
         profile_rows.append(
             {
                 "experiment": eid,
                 "seconds": elapsed,
                 "trials_executed": stats.executed,
                 "cache_hits": stats.cache_hits,
+                "trials_per_sec": trials_total / elapsed if elapsed > 0 else 0.0,
+                "hit_rate": stats.cache_hits / trials_total if trials_total else 0.0,
             }
         )
         print(
@@ -302,12 +320,23 @@ def main() -> None:
         f"Runner: jobs = {settings.resolved_jobs}, trial cache = {cache_state}; "
         f"total wall-clock {total_seconds:.2f}s.  `trials_executed` counts trials "
         "actually computed by this run; `cache_hits` counts trials served from the "
-        "content-addressed store (a fully warm regeneration executes zero).\n"
+        "content-addressed store (a fully warm regeneration executes zero).  "
+        "`trials_per_sec` is the experiment's completed work units (computed + "
+        "served) per second of its wall-clock; `hit_rate` is the served "
+        "fraction.\n"
     )
     lines.append("```text")
     lines.append(
         render_table(
-            ["experiment", "seconds", "trials_executed", "cache_hits"], profile_rows
+            [
+                "experiment",
+                "seconds",
+                "trials_executed",
+                "cache_hits",
+                "trials_per_sec",
+                "hit_rate",
+            ],
+            profile_rows,
         )
     )
     lines.append("```\n")

@@ -25,9 +25,12 @@ import argparse
 import sys
 import time
 
+from contextlib import nullcontext
+
 from repro.experiments import ExperimentSettings
 from repro.experiments.reporting import render_table
-from repro.experiments.runner import track_stats
+from repro.experiments.runner import progress_scope, track_stats
+from repro.observability import CliProgressRenderer
 from repro.tournament import (
     SPEND_FRACTIONS,
     TournamentCell,
@@ -118,6 +121,12 @@ def main() -> None:
         action="store_true",
         help="omit the worst-case parameter search section (faster)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr (off by default; the "
+        "generated document is byte-identical either way)",
+    )
     args = parser.parse_args()
 
     settings = ExperimentSettings(
@@ -129,9 +138,14 @@ def main() -> None:
         cache_dir=args.cache_dir,
     )
 
+    renderer = CliProgressRenderer(label="tournament") if args.progress else None
+    follower = progress_scope(renderer) if renderer is not None else nullcontext()
     start = time.perf_counter()
-    with track_stats() as stats:
-        tournament = run_tournament(settings, cells=tournament_cells())
+    with follower:
+        with track_stats() as stats:
+            tournament = run_tournament(settings, cells=tournament_cells())
+    if renderer is not None:
+        renderer.finish()
     print(
         f"tournament: {len(tournament.cells)} cells in {time.perf_counter() - start:.1f}s "
         f"({stats.executed} trials executed, {stats.cache_hits} cache hits)",
@@ -200,9 +214,14 @@ def main() -> None:
     lines.append("```\n")
 
     if not args.skip_search:
+        renderer = CliProgressRenderer(label="search") if args.progress else None
+        follower = progress_scope(renderer) if renderer is not None else nullcontext()
         start = time.perf_counter()
-        with track_stats() as stats:
-            searches = [optimise_cell(cell, settings) for cell in SEARCH_CELLS]
+        with follower:
+            with track_stats() as stats:
+                searches = [optimise_cell(cell, settings) for cell in SEARCH_CELLS]
+        if renderer is not None:
+            renderer.finish()
         print(
             f"search: {len(searches)} cells in {time.perf_counter() - start:.1f}s "
             f"({stats.executed} trials executed, {stats.cache_hits} cache hits)",

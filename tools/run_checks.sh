@@ -59,6 +59,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
         run_step "tournament benchmark smoke (E14 grid + parallel identity + worst-case search)" \
         python benchmarks/bench_tournament.py --smoke --jobs 2
+
+    run_step "trace-overhead benchmark smoke (null-recorder neutrality)" \
+        python benchmarks/bench_trace_overhead.py --smoke
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
