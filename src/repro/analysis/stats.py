@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
 
@@ -59,9 +59,18 @@ def summarize(name: str, values: Sequence[float]) -> TrialSummary:
 
 
 def aggregate_records(records: Iterable[Dict[str, float]]) -> Dict[str, TrialSummary]:
-    """Summarise every numeric field across a list of flat records."""
+    """Summarise every numeric field across a list of flat records.
 
-    rows: List[Dict[str, float]] = list(records)
+    Non-mapping entries are skipped: a sweep run under the default (lenient)
+    fault policy replaces a trial that kept failing with a
+    ``repro.experiments.faults.TrialFailure`` sentinel, and those carry no
+    metrics to aggregate — the surviving trials' statistics are reported and
+    the generator tooling surfaces the quarantine count separately.
+    """
+
+    rows: List[Dict[str, float]] = [
+        row for row in records if isinstance(row, Mapping)
+    ]
     if not rows:
         return {}
     keys = sorted({key for row in rows for key in row})

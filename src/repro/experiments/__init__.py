@@ -1,16 +1,32 @@
 """The benchmark harness: one experiment per quantitative claim of the paper."""
 
 from .cache import CACHE_VERSION, TrialCache, trial_key
+from .faults import (
+    DEFAULT_FAULT_POLICY,
+    FaultEvent,
+    FaultInjector,
+    FaultPolicy,
+    QuarantineError,
+    TrialFailure,
+    fault_scope,
+)
 from .harness import ExperimentResult, ExperimentSettings, run_trials
 from .reporting import render_result, render_results, render_table
 from .runner import TrialSpec, run_point, run_sweep
 
 __all__ = [
     "CACHE_VERSION",
+    "DEFAULT_FAULT_POLICY",
     "ExperimentResult",
     "ExperimentSettings",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPolicy",
+    "QuarantineError",
     "TrialCache",
+    "TrialFailure",
     "TrialSpec",
+    "fault_scope",
     "render_result",
     "render_results",
     "render_table",

@@ -21,6 +21,11 @@ Two properties the runner relies on:
   killed writer) is treated as absent and recomputed; writes go through a
   temporary file and an atomic :func:`os.replace` so readers never observe a
   partial entry.
+* **Write failure degrades to no-cache.**  A store that cannot accept writes
+  (disk full, read-only mount, permission error, a file squatting where a
+  shard directory belongs) disables itself for the rest of the run with a
+  single :class:`RuntimeWarning` instead of aborting the sweep — the cache is
+  an accelerator, never a correctness dependency.
 """
 
 from __future__ import annotations
@@ -29,8 +34,10 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import shutil
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -114,11 +121,43 @@ class TrialCache:
     store is safe to share between concurrent runs: writes are atomic renames
     and a lost race simply overwrites one deterministic record with an
     identical one.
+
+    The store degrades rather than aborts: the first unrecoverable write
+    failure (disk full, read-only filesystem, permission denied) flips
+    :attr:`disabled` for the rest of the run — reads return misses, writes
+    become no-ops — and emits one :class:`RuntimeWarning` naming the cause.
+    The sweep itself continues, merely uncached.
+
+    ``torn_write_bytes`` is a chaos knob for tests: when set, every completed
+    write is truncated to that many bytes, simulating a writer killed between
+    ``write`` and ``fsync`` on a filesystem that tore the page — the next read
+    of such an entry must degrade to a miss, never an exception.
     """
 
-    def __init__(self, root: os.PathLike | str) -> None:
+    def __init__(
+        self, root: os.PathLike | str, *, torn_write_bytes: Optional[int] = None
+    ) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.torn_write_bytes = torn_write_bytes
+        self.disabled = False
+        self.disabled_reason: Optional[str] = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            self._disable(f"cannot create cache root {str(self.root)!r}: {exc}")
+
+    def _disable(self, reason: str) -> None:
+        """Switch the store off for the rest of the run, warning exactly once."""
+
+        if self.disabled:
+            return
+        self.disabled = True
+        self.disabled_reason = reason
+        warnings.warn(
+            f"trial cache disabled for the rest of this run: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -126,6 +165,8 @@ class TrialCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The stored record for ``key``, or ``None`` on a miss (or corruption)."""
 
+        if self.disabled:
+            return None
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
@@ -137,8 +178,33 @@ class TrialCache:
             return None
 
     def put(self, key: str, record: Mapping[str, object]) -> None:
-        """Store ``record`` under ``key`` (atomic: readers never see partial writes)."""
+        """Store ``record`` under ``key``, or disable the store if it cannot.
 
+        The write itself is atomic (temp file + :func:`os.replace`), so
+        readers never observe a partial entry.  A write that fails with an
+        :class:`OSError` (disk full, read-only mount, permission denied)
+        disables the cache for the rest of the run instead of raising — with
+        one special case: a *directory* squatting on the entry's path (e.g. a
+        bad extraction) is removed and the write retried once, because that is
+        local damage, not a failing filesystem.
+        """
+
+        if self.disabled:
+            return
+        try:
+            self._write(key, record)
+        except OSError as exc:
+            path = self.path_for(key)
+            if path.is_dir():
+                try:
+                    shutil.rmtree(path)
+                    self._write(key, record)
+                    return
+                except OSError as retry_exc:
+                    exc = retry_exc
+            self._disable(f"write failed for {str(path)!r}: {exc}")
+
+    def _write(self, key: str, record: Mapping[str, object]) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -152,6 +218,11 @@ class TrialCache:
             except OSError:
                 pass
             raise
+        if self.torn_write_bytes is not None:
+            # Chaos mode: tear the entry we just published, as a crashed
+            # writer on a non-atomic filesystem would have.
+            with path.open("r+b") as handle:
+                handle.truncate(int(self.torn_write_bytes))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
@@ -233,8 +304,16 @@ class TrialCache:
         )
 
     def touch(self, key: str) -> None:
-        """Refresh an entry's mtime (called by cache hits to keep LRU honest)."""
+        """Refresh an entry's mtime (called by cache hits to keep LRU honest).
 
+        Silent when the entry has vanished (a concurrent :meth:`prune`, or a
+        just-pruned key being touched by a hit served moments earlier): the
+        record was already served from the bytes read, so there is nothing to
+        refresh and nothing to report.
+        """
+
+        if self.disabled:
+            return
         try:
             os.utime(self.path_for(key))
         except OSError:

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..simulation.errors import ConfigurationError
 from ..simulation.rng import derive_seed
+from .faults import DEFAULT_FAULT_POLICY, FaultInjector, FaultPolicy
 
 __all__ = ["ExperimentSettings", "ExperimentResult", "run_trials", "VALID_ENGINES"]
 
@@ -56,6 +57,20 @@ class ExperimentSettings:
         ``REPRO_CACHE_DIR``; no directory from either source disables
         caching, as does the explicit empty string ``""`` (which also masks
         the environment variable).
+    fault_policy:
+        How the trial runner treats failing work
+        (:class:`repro.experiments.faults.FaultPolicy`: chunk timeouts,
+        retry/backoff budgets, quarantine vs strict).  ``None`` defers to the
+        ``REPRO_TRIAL_TIMEOUT_S`` / ``REPRO_TRIAL_RETRIES`` /
+        ``REPRO_STRICT_FAULTS`` environment variables layered over
+        :data:`repro.experiments.faults.DEFAULT_FAULT_POLICY`.
+    fault_injector:
+        Optional deterministic chaos harness
+        (:class:`repro.experiments.faults.FaultInjector`) used by tests and
+        ``benchmarks/bench_fault_tolerance.py`` to crash workers, hang
+        chunks, and corrupt cache entries at chosen coordinates.  ``None``
+        (the default, and the only sensible production value) injects
+        nothing.
     """
 
     n: int = 512
@@ -65,6 +80,8 @@ class ExperimentSettings:
     engine: str = "fast"
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
+    fault_policy: Optional[FaultPolicy] = None
+    fault_injector: Optional[FaultInjector] = None
 
     def __post_init__(self) -> None:
         # Validation failures name the offending field and echo the received
@@ -97,6 +114,16 @@ class ExperimentSettings:
         if self.cache_dir is not None and not isinstance(self.cache_dir, (str, os.PathLike)):
             raise ConfigurationError(
                 f"ExperimentSettings.cache_dir must be a path or None, got {self.cache_dir!r}"
+            )
+        if self.fault_policy is not None and not isinstance(self.fault_policy, FaultPolicy):
+            raise ConfigurationError(
+                f"ExperimentSettings.fault_policy must be a FaultPolicy or None, "
+                f"got {self.fault_policy!r}"
+            )
+        if self.fault_injector is not None and not isinstance(self.fault_injector, FaultInjector):
+            raise ConfigurationError(
+                f"ExperimentSettings.fault_injector must be a FaultInjector or None, "
+                f"got {self.fault_injector!r}"
             )
 
     @property
@@ -138,6 +165,64 @@ class ExperimentSettings:
         if env is None or env.strip() == "":
             return None
         return env
+
+    @property
+    def resolved_fault_policy(self) -> FaultPolicy:
+        """The effective fault policy: explicit ``fault_policy``, else env overrides.
+
+        Like ``resolved_jobs``, environment values are validated when they are
+        consulted and each failure names the variable it came from:
+
+        * ``REPRO_TRIAL_TIMEOUT_S`` — positive float; per-chunk watchdog.
+        * ``REPRO_TRIAL_RETRIES`` — non-negative integer; retry budget.
+        * ``REPRO_STRICT_FAULTS`` — ``1/true/yes/on`` or ``0/false/no/off``;
+          quarantine (default) vs re-raise.
+        """
+
+        if self.fault_policy is not None:
+            return self.fault_policy
+        changes: Dict[str, object] = {}
+        env = os.environ.get("REPRO_TRIAL_TIMEOUT_S")
+        if env is not None and env.strip() != "":
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_TRIAL_TIMEOUT_S must be a positive number, got {env!r}"
+                ) from None
+            if timeout <= 0:
+                raise ConfigurationError(
+                    f"REPRO_TRIAL_TIMEOUT_S must be a positive number, got {env!r}"
+                )
+            changes["timeout_s"] = timeout
+        env = os.environ.get("REPRO_TRIAL_RETRIES")
+        if env is not None and env.strip() != "":
+            try:
+                retries = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_TRIAL_RETRIES must be a non-negative integer, got {env!r}"
+                ) from None
+            if retries < 0:
+                raise ConfigurationError(
+                    f"REPRO_TRIAL_RETRIES must be a non-negative integer, got {env!r}"
+                )
+            changes["max_retries"] = retries
+        env = os.environ.get("REPRO_STRICT_FAULTS")
+        if env is not None and env.strip() != "":
+            lowered = env.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                changes["strict"] = True
+            elif lowered in ("0", "false", "no", "off"):
+                changes["strict"] = False
+            else:
+                raise ConfigurationError(
+                    f"REPRO_STRICT_FAULTS must be a boolean flag "
+                    f"(1/true/yes/on or 0/false/no/off), got {env!r}"
+                )
+        if not changes:
+            return DEFAULT_FAULT_POLICY
+        return replace(DEFAULT_FAULT_POLICY, **changes)
 
     def trial_seed(self, *labels: object) -> int:
         """A deterministic seed for one trial of one sweep point."""

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware execution of experiment trials.
+"""Parallel, cache-aware, fault-tolerant execution of experiment trials.
 
 The experiments in this package are Monte-Carlo sweeps: a grid of sweep
 points, each repeated for ``settings.trials`` independent seeds, every trial a
@@ -27,6 +27,32 @@ Caching happens in the parent: hits are served before any work is dispatched,
 misses are executed (in the pool or inline) and written back afterwards, so
 workers never touch the store concurrently.
 
+Fault tolerance
+---------------
+
+Failure is an ordinary input to the execution layer, governed by the sweep's
+:class:`~repro.experiments.faults.FaultPolicy` (from ``settings`` or the
+``policy=`` keyword):
+
+* a **dead worker** (``BrokenProcessPool``) breaks only the chunks that were
+  in flight: the pool is respawned and those units are re-dispatched;
+* a **hung chunk** that exceeds ``timeout_s`` is killed with its pool and
+  re-dispatched the same way;
+* a unit that keeps failing is retried up to ``max_retries`` times with
+  seeded-deterministic backoff, then **quarantined** into an explicit
+  :class:`~repro.experiments.faults.TrialFailure` sentinel in the results
+  (``strict=True`` raises :class:`~repro.experiments.faults.QuarantineError`
+  instead), so one poisoned configuration cannot kill a 10,000-trial grid;
+* once pool breakage exceeds ``max_pool_respawns`` the sweep **degrades to
+  serial** in-process execution with a single warning.
+
+Retries consume no RNG — a unit's seed is a pure function of
+``(labels, trial_index)`` — so a sweep that recovered from faults is
+bit-identical to an undisturbed one.  Each handling decision is published as
+a :class:`~repro.experiments.faults.FaultEvent` (collect with
+:func:`~repro.experiments.faults.fault_scope`, or pass ``recorder=`` to store
+``"fault"`` trace events), and counted on :class:`ExecutionStats`.
+
 Observability
 -------------
 
@@ -38,8 +64,9 @@ invariants above:
   :class:`~repro.observability.progress.ProgressEvent` per completed work
   unit — cache hits during the scan, computed trials as the streaming
   collection receives them.  Events are emitted in the parent only, and with
-  no sink active the runner never even reads the clock, so instrumented and
-  plain sweeps produce byte-identical results and documents.
+  no sink active (and no fault handling under way) the runner never even
+  reads the clock, so instrumented and plain sweeps produce byte-identical
+  results and documents.
 * **Stage spans** — inside a :func:`span_scope`, the :func:`timed_span`
   contextmanager attributes wall-clock to the runner's stages (``schedule``,
   ``fan-out``, ``reassemble``); ``tools/trace_report.py`` renders them.
@@ -49,14 +76,27 @@ invariants above:
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..observability.progress import ProgressEvent
+from ..observability.trace import NULL_RECORDER, TraceRecorder
 from .cache import TrialCache, trial_key
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPolicy,
+    QuarantineError,
+    TrialFailure,
+    backoff_delay,
+    emit_fault,
+)
 from .harness import ExperimentSettings
 
 __all__ = [
@@ -111,22 +151,33 @@ class ExecutionStats:
 
     ``executed`` counts trials actually computed (serially or in a worker);
     ``cache_hits`` / ``cache_misses`` count store lookups when a cache is
-    active.  Callers that want per-phase numbers (the EXPERIMENTS.md
-    generator, tests probing the cache-warm path) snapshot before and after.
+    active.  The fault counters record handling *incidents*: ``retries`` is
+    unit re-dispatches (whatever the cause), ``timeouts`` and
+    ``worker_deaths`` are pool-level kill/respawn incidents, ``quarantined``
+    counts trials given up on, and ``cache_disabled`` counts stores that shut
+    themselves off mid-run.  Callers that want per-phase numbers (the
+    EXPERIMENTS.md generator, tests probing the cache-warm path) snapshot
+    before and after.
     """
 
     executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    quarantined: int = 0
+    cache_disabled: int = 0
 
     def snapshot(self) -> "ExecutionStats":
         return replace(self)
 
     def since(self, before: "ExecutionStats") -> "ExecutionStats":
         return ExecutionStats(
-            executed=self.executed - before.executed,
-            cache_hits=self.cache_hits - before.cache_hits,
-            cache_misses=self.cache_misses - before.cache_misses,
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in dataclass_fields(self)
+            }
         )
 
 
@@ -258,11 +309,49 @@ def progress_scope(sink: Callable[[ProgressEvent], None]) -> Iterator[Callable[[
         _PROGRESS_SINKS.remove(sink)
 
 
-def _run_unit(unit: Tuple[Callable[..., Dict[str, object]], int, Dict[str, object]]):
-    """Execute one (function, seed, params) work unit; the pool's map target."""
+@dataclass
+class _Unit:
+    """One trial's mutable dispatch state inside a single :func:`run_sweep` call."""
 
-    trial_fn, seed, params = unit
-    return trial_fn(seed, **params)
+    spec_index: int
+    trial_index: int
+    labels: Tuple[object, ...]
+    seed: int
+    key: Optional[str]
+    trial_fn: Callable[..., Dict[str, object]]
+    params: Dict[str, object]
+    attempts: int = 0  # dispatches so far; the Nth dispatch carries attempt=N-1
+
+
+@dataclass
+class _Chunk:
+    """A batch of units dispatched to one pool task."""
+
+    units: List[_Unit]
+    not_before: float = 0.0  # monotonic time before which this chunk must wait
+    deadline: float = 0.0  # monotonic dispatch deadline (0 = no watchdog)
+
+
+def _run_chunk(items: List[Tuple], injector: Optional[FaultInjector]):
+    """Execute one batch of work units inside a worker; the pool's task target.
+
+    Returns one outcome per item, aligned by position: ``("ok", record)`` or
+    ``("error", type_name, message)``.  Per-unit exceptions are captured here
+    (not raised) so one failing trial cannot discard its chunk-mates' finished
+    work; ``KeyboardInterrupt`` still propagates so Ctrl-C tears workers down.
+    """
+
+    outcomes: List[Tuple] = []
+    for labels, trial_index, attempt, trial_fn, seed, params in items:
+        if injector is not None:
+            injector.apply_in_worker(labels, trial_index, attempt)
+        try:
+            outcomes.append(("ok", trial_fn(seed, **params)))
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - converted to data, not swallowed
+            outcomes.append(("error", type(exc).__name__, str(exc)))
+    return outcomes
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -280,6 +369,28 @@ def _chunksize(pending: int, jobs: int) -> int:
     return max(1, pending // (jobs * 4))
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: cancel queued work, kill workers, reap them.
+
+    ``shutdown(wait=True)`` would block forever behind a hung worker, and
+    ``shutdown(wait=False)`` alone would orphan it — so the worker processes
+    are terminated explicitly and joined with a bound.
+    """
+
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-reaped race
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+        except Exception:  # pragma: no cover - already-reaped race
+            pass
+
+
 def run_sweep(
     specs: Sequence[TrialSpec],
     settings: ExperimentSettings,
@@ -287,6 +398,9 @@ def run_sweep(
     jobs: Optional[int] = None,
     cache: Optional[TrialCache] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    policy: Optional[FaultPolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> List[List[Dict[str, object]]]:
     """Run every spec's trials, parallel and cache-aware; records per spec, in order.
 
@@ -296,8 +410,9 @@ def run_sweep(
         The sweep, one :class:`TrialSpec` per point.
     settings:
         Supplies ``trials``, the seed derivation, and — unless overridden by
-        the explicit keyword arguments — ``resolved_jobs`` and
-        ``resolved_cache_dir``.
+        the explicit keyword arguments — ``resolved_jobs``,
+        ``resolved_cache_dir``, ``resolved_fault_policy``, and
+        ``fault_injector``.
     jobs:
         Worker-process count override; ``None`` defers to the settings/env.
     cache:
@@ -308,19 +423,69 @@ def run_sweep(
         :func:`progress_scope`.  One event fires per completed work unit,
         from the parent process only; with no sink anywhere the runner never
         reads the clock.
+    policy:
+        Fault-handling override (:class:`~repro.experiments.faults.FaultPolicy`);
+        ``None`` defers to ``settings.resolved_fault_policy``.
+    injector:
+        Deterministic chaos override
+        (:class:`~repro.experiments.faults.FaultInjector`); ``None`` defers
+        to ``settings.fault_injector`` (normally: no injection).
+    recorder:
+        Optional :class:`~repro.observability.trace.TraceRecorder`; when
+        enabled, every fault-handling decision is stored as a ``"fault"``
+        trace event alongside whatever else the recorder collects.
 
     Returns
     -------
     ``results[i][t]`` is the record of trial ``t`` of ``specs[i]``, identical
-    field-for-field to what a serial loop would have produced.
+    field-for-field to what a serial loop would have produced — except that a
+    trial quarantined under the fault policy yields a
+    :class:`~repro.experiments.faults.TrialFailure` sentinel in its slot.
+
+    Raises
+    ------
+    QuarantineError
+        Only with ``policy.strict``: the first trial to exhaust its retry
+        budget aborts the sweep.
+    KeyboardInterrupt
+        Re-raised after a clean teardown: workers are terminated (never
+        orphaned), every trial that finished before the interrupt has been
+        written to the cache, and a one-line partial-progress summary is
+        printed to stderr — re-running the same sweep resumes warm.
     """
 
     jobs = settings.resolved_jobs if jobs is None else int(jobs)
     if jobs < 1:
         jobs = 1
+    if policy is None:
+        policy = settings.resolved_fault_policy
+    if injector is None:
+        injector = settings.fault_injector
+    if recorder is None:
+        recorder = NULL_RECORDER
     if cache is None:
         cache_dir = settings.resolved_cache_dir
         cache = TrialCache(cache_dir) if cache_dir is not None else None
+
+    def publish(event: FaultEvent) -> None:
+        emit_fault(event)
+        if recorder.enabled:
+            recorder.record(event.as_trace_event())
+
+    cache_disabled_noted = False
+
+    def note_cache_disabled() -> None:
+        # The store warns (once) when it disables itself; the runner's job is
+        # to make that visible to stats/trace consumers, also exactly once.
+        nonlocal cache_disabled_noted
+        if cache is not None and cache.disabled and not cache_disabled_noted:
+            cache_disabled_noted = True
+            _count("cache_disabled")
+            publish(
+                FaultEvent(kind="cache-disabled", detail=cache.disabled_reason or "")
+            )
+
+    note_cache_disabled()
 
     sinks: List[Callable[[ProgressEvent], None]] = list(_PROGRESS_SINKS)
     if progress is not None:
@@ -344,9 +509,8 @@ def run_sweep(
     results: List[List[Optional[Dict[str, object]]]] = [
         [None] * settings.trials for _ in specs
     ]
-    # (spec index, trial index, cache key or None, work unit) for every trial
-    # the cache could not serve, in deterministic submission order.
-    pending: List[Tuple[int, int, Optional[str], Tuple]] = []
+
+    pending: List[_Unit] = []
     with timed_span("schedule"):
         for spec_index, spec in enumerate(specs):
             for trial_index in range(settings.trials):
@@ -367,43 +531,321 @@ def run_sweep(
                         continue
                     _count("cache_misses")
                 pending.append(
-                    (spec_index, trial_index, key, (spec.trial_fn, seed, dict(spec.params)))
+                    _Unit(
+                        spec_index=spec_index,
+                        trial_index=trial_index,
+                        labels=spec.labels,
+                        seed=seed,
+                        key=key,
+                        trial_fn=spec.trial_fn,
+                        params=dict(spec.params),
+                    )
                 )
+
+    def complete(unit: _Unit, record: Dict[str, object]) -> None:
+        """Count, store, cache (and maybe chaos-corrupt) one computed record."""
+
+        nonlocal completed
+        _count("executed")
+        results[unit.spec_index][unit.trial_index] = record
+        if cache is not None and unit.key is not None:
+            cache.put(unit.key, record)
+            if injector is not None and injector.corrupts(unit.labels, unit.trial_index):
+                injector.corrupt_entry(cache, unit.key)
+            note_cache_disabled()
+        if sinks:
+            completed += 1
+            emit(unit.labels, unit.trial_index, False)
+
+    def quarantine(unit: _Unit, kind: str, error_type: str, message: str) -> None:
+        """Give up on one unit: sentinel in its slot, or raise under strict."""
+
+        nonlocal completed
+        failure = TrialFailure(
+            labels=unit.labels,
+            trial_index=unit.trial_index,
+            seed=unit.seed,
+            kind=kind,
+            error_type=error_type,
+            error_message=message,
+            attempts=unit.attempts,
+        )
+        _count("quarantined")
+        publish(
+            FaultEvent(
+                kind="quarantine",
+                labels=unit.labels,
+                trial_index=unit.trial_index,
+                attempt=unit.attempts,
+                detail=f"[{kind}] {error_type}: {message}",
+            )
+        )
+        if policy.strict:
+            raise QuarantineError(failure)
+        results[unit.spec_index][unit.trial_index] = failure
+        if sinks:
+            completed += 1
+            emit(unit.labels, unit.trial_index, False)
+
+    def retry_delay(unit: _Unit, kind: str, detail: str) -> Optional[float]:
+        """Burn one failure: the backoff delay before re-dispatch, or ``None``
+        when the unit's budget is exhausted (it has been quarantined)."""
+
+        if unit.attempts <= policy.max_retries:
+            delay = backoff_delay(policy, unit.labels, unit.trial_index, unit.attempts)
+            _count("retries")
+            publish(
+                FaultEvent(
+                    kind="retry",
+                    labels=unit.labels,
+                    trial_index=unit.trial_index,
+                    attempt=unit.attempts,
+                    detail=detail,
+                    delay_s=delay,
+                )
+            )
+            return delay
+        error_type, _, message = detail.partition(": ")
+        quarantine(unit, kind, error_type or kind, message)
+        return None
+
+    def run_serially(units: Sequence[_Unit]) -> None:
+        """The in-process path: ``jobs=1`` and the degraded-pool fallback.
+
+        Retries and quarantines apply exactly as in the pooled path; injected
+        crashes and hangs are inert here by construction
+        (:meth:`FaultInjector.apply_in_worker` refuses to fire outside a
+        worker process), so degradation always makes forward progress.
+        """
+
+        for unit in units:
+            while True:
+                unit.attempts += 1
+                if injector is not None:
+                    injector.apply_in_worker(unit.labels, unit.trial_index, unit.attempts - 1)
+                try:
+                    record = unit.trial_fn(unit.seed, **unit.params)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    delay = retry_delay(unit, "error", f"{type(exc).__name__}: {exc}")
+                    if delay is None:
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                complete(unit, record)
+                break
+
+    def run_pooled(units: Sequence[_Unit], workers: int) -> None:
+        queue: List[_Chunk] = []
+        size = _chunksize(len(units), workers)
+        block: List[_Unit] = []
+        for unit in units:
+            block.append(unit)
+            if len(block) == size:
+                queue.append(_Chunk(units=block))
+                block = []
+        if block:
+            queue.append(_Chunk(units=block))
+
+        breakages = 0
+        degraded = False
+        inflight: Dict[object, _Chunk] = {}
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+
+        def requeue(chunk_units: Sequence[_Unit], kind: str, detail: str) -> None:
+            # Victims of a pool-level incident: each surviving unit becomes
+            # its own single-unit chunk, so a poisoned unit retries alone and
+            # its innocent former chunk-mates cannot be taken down with it
+            # again.  Backoff rides on the chunk's not-before time.
+            for unit in chunk_units:
+                delay = retry_delay(unit, kind, detail)
+                if delay is None:
+                    continue
+                not_before = time.monotonic() + delay if delay > 0 else 0.0
+                queue.append(_Chunk(units=[unit], not_before=not_before))
+
+        def breakage(kind: str, detail: str, victims: List[_Unit]) -> None:
+            nonlocal pool, breakages, degraded
+            breakages += 1
+            _count("worker_deaths" if kind == "worker-death" else "timeouts")
+            first = victims[0] if victims else None
+            publish(
+                FaultEvent(
+                    kind=kind,
+                    labels=first.labels if first else (),
+                    trial_index=first.trial_index if first else -1,
+                    attempt=first.attempts if first else 0,
+                    detail=detail,
+                )
+            )
+            _terminate_pool(pool)
+            for chunk in inflight.values():
+                victims.extend(chunk.units)
+            inflight.clear()
+            requeue(victims, kind, detail)
+            if breakages > policy.max_pool_respawns:
+                degraded = True
+                publish(
+                    FaultEvent(
+                        kind="pool-degraded",
+                        detail=f"{breakages} pool breakages exceed "
+                        f"max_pool_respawns={policy.max_pool_respawns}",
+                    )
+                )
+                warnings.warn(
+                    f"parallel sweep degraded to serial execution after "
+                    f"{breakages} worker-pool breakages (last: {detail})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+
+        try:
+            while queue or inflight:
+                if degraded:
+                    break
+                # Dispatch every ready chunk that fits in the worker budget.
+                submitted = True
+                while submitted and queue and len(inflight) < workers:
+                    submitted = False
+                    now: Optional[float] = None
+                    for index, chunk in enumerate(queue):
+                        if chunk.not_before > 0.0:
+                            if now is None:
+                                now = time.monotonic()
+                            if chunk.not_before > now:
+                                continue
+                        queue.pop(index)
+                        items = []
+                        for unit in chunk.units:
+                            items.append(
+                                (
+                                    unit.labels,
+                                    unit.trial_index,
+                                    unit.attempts,
+                                    unit.trial_fn,
+                                    unit.seed,
+                                    unit.params,
+                                )
+                            )
+                            unit.attempts += 1
+                        if policy.timeout_s is not None:
+                            chunk.deadline = time.monotonic() + policy.timeout_s
+                        try:
+                            future = pool.submit(_run_chunk, items, injector)
+                        except BrokenProcessPool as exc:
+                            breakage(
+                                "worker-death",
+                                str(exc) or "pool broken at submit",
+                                list(chunk.units),
+                            )
+                            submitted = True
+                            break
+                        inflight[future] = chunk
+                        submitted = True
+                        break
+                if degraded:
+                    break
+                if not inflight:
+                    if queue:
+                        # Everything left is backing off: sleep to the
+                        # earliest release instead of spinning.
+                        pause = min(c.not_before for c in queue) - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+
+                timeout: Optional[float] = None
+                wake_at: Optional[float] = None
+                if policy.timeout_s is not None:
+                    wake_at = min(chunk.deadline for chunk in inflight.values())
+                if queue and len(inflight) < workers:
+                    backing_off = [c.not_before for c in queue if c.not_before > 0.0]
+                    if backing_off:
+                        soonest = min(backing_off)
+                        wake_at = soonest if wake_at is None else min(wake_at, soonest)
+                if wake_at is not None:
+                    timeout = max(0.0, wake_at - time.monotonic())
+                done, _ = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+
+                if not done:
+                    if policy.timeout_s is None:
+                        continue
+                    now = time.monotonic()
+                    expired: List[_Unit] = []
+                    for future, chunk in list(inflight.items()):
+                        if chunk.deadline and chunk.deadline <= now:
+                            expired.extend(chunk.units)
+                            del inflight[future]
+                    if expired:
+                        breakage(
+                            "timeout",
+                            f"chunk exceeded timeout_s={policy.timeout_s}",
+                            expired,
+                        )
+                    continue
+
+                broken_victims: List[_Unit] = []
+                broken_detail = ""
+                for future in done:
+                    chunk = inflight.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool as exc:
+                        broken_victims.extend(chunk.units)
+                        broken_detail = str(exc) or type(exc).__name__
+                        continue
+                    for unit, outcome in zip(chunk.units, outcomes):
+                        if outcome[0] == "ok":
+                            complete(unit, outcome[1])
+                        else:
+                            delay = retry_delay(
+                                unit, "error", f"{outcome[1]}: {outcome[2]}"
+                            )
+                            if delay is not None:
+                                not_before = (
+                                    time.monotonic() + delay if delay > 0 else 0.0
+                                )
+                                queue.append(_Chunk(units=[unit], not_before=not_before))
+                if broken_victims:
+                    breakage(
+                        "worker-death",
+                        broken_detail or "worker process died",
+                        broken_victims,
+                    )
+            # Exited the loop: normal completion (empty queue) or degradation.
+            remaining = [unit for chunk in queue for unit in chunk.units]
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        if degraded:
+            _terminate_pool(pool)
+            run_serially(remaining)
+        else:
+            pool.shutdown(wait=True)
 
     if pending:
         workers = min(jobs, len(pending))
-
-        def collect(records) -> None:
-            # Count, store, and cache each record as it arrives (pool.map
-            # yields in submission order as chunks complete), so an
-            # interrupted sweep keeps — and counts — exactly the trials that
-            # finished before the interruption: the "resume an interrupted
-            # sweep" promise of the trial cache, with `executed` staying
-            # truthful for stats consumers that span a failed run.
-            nonlocal completed
-            for (spec_index, trial_index, key, _), record in zip(pending, records):
-                _count("executed")
-                results[spec_index][trial_index] = record
-                if cache is not None and key is not None:
-                    cache.put(key, record)
-                if sinks:
-                    completed += 1
-                    emit(specs[spec_index].labels, trial_index, False)
-
-        with timed_span("fan-out"):
-            if workers <= 1:
-                collect(_run_unit(unit) for _, _, _, unit in pending)
-            else:
-                with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=_pool_context()
-                ) as pool:
-                    collect(
-                        pool.map(
-                            _run_unit,
-                            [unit for _, _, _, unit in pending],
-                            chunksize=_chunksize(len(pending), workers),
-                        )
-                    )
+        try:
+            with timed_span("fan-out"):
+                if workers <= 1:
+                    run_serially(pending)
+                else:
+                    run_pooled(pending, workers)
+        except KeyboardInterrupt:
+            finished = sum(
+                1 for spec_rows in results for record in spec_rows if record is not None
+            )
+            flushed = " and flushed to the trial cache" if cache is not None else ""
+            print(
+                f"run_sweep interrupted: {finished}/{total} trials finished{flushed}; "
+                f"re-running the sweep resumes from there",
+                file=sys.stderr,
+            )
+            raise
 
     with timed_span("reassemble"):
         out: List[List[Dict[str, object]]] = []

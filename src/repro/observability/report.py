@@ -2,9 +2,11 @@
 
 Works on the :class:`~repro.observability.trace.TraceEvent` streams produced
 by the orchestrators/engines (``kind="phase"`` / ``"engine"`` /
-``"quiet-expire"`` / ``"truncate"`` …) and on runner-stage ``"span"`` events,
-whether collected in memory (:class:`~repro.observability.trace.TraceCollector`)
-or loaded from JSONL.  ``tools/trace_report.py`` is the CLI wrapper.
+``"quiet-expire"`` / ``"truncate"`` …), on runner-stage ``"span"`` events, and
+on the trial runner's ``"fault"`` events (retries, timeouts, worker deaths,
+quarantines), whether collected in memory
+(:class:`~repro.observability.trace.TraceCollector`) or loaded from JSONL.
+``tools/trace_report.py`` is the CLI wrapper.
 
 The diff is sequence-positional: two runs of the same configuration execute
 the same schedule until something diverges, so phase events are aligned by
@@ -26,6 +28,7 @@ __all__ = [
     "round_rows",
     "runner_spans",
     "span_events",
+    "fault_rows",
     "summarise_trace",
     "PhaseDivergence",
     "diff_phase_events",
@@ -147,6 +150,28 @@ def span_events(spans: Iterable[object]) -> List[TraceEvent]:
     ]
 
 
+def fault_rows(events: Sequence[TraceEvent]) -> List[Dict[str, object]]:
+    """The ``"fault"`` events (runner fault handling) as table rows, in order.
+
+    One row per fault-handling decision the trial runner recorded: retries
+    with their backoff delay, pool-level timeout / worker-death incidents,
+    quarantines, cache-disable and pool-degradation notices.
+    """
+
+    return [
+        {
+            "fault": event.data.get("fault", ""),
+            "labels": event.data.get("labels", ""),
+            "trial": event.data.get("trial_index", ""),
+            "attempt": event.data.get("attempt", ""),
+            "delay_s": event.data.get("delay_s", 0.0),
+            "detail": event.data.get("detail", ""),
+        }
+        for event in events
+        if event.kind == "fault"
+    ]
+
+
 def summarise_trace(events: Sequence[TraceEvent]) -> str:
     """Human-readable summary of one trace: run header, per-round table, totals."""
 
@@ -204,6 +229,20 @@ def summarise_trace(events: Sequence[TraceEvent]) -> str:
         lines.append("")
         lines.append("runner stages:")
         lines.append(_table(["stage", "seconds"], spans))
+    faults = fault_rows(events)
+    if faults:
+        lines.append("")
+        lines.append("runner faults:")
+        lines.append(
+            _table(["fault", "labels", "trial", "attempt", "delay_s", "detail"], faults)
+        )
+        counts: Dict[str, int] = {}
+        for row in faults:
+            counts[str(row["fault"])] = counts.get(str(row["fault"]), 0) + 1
+        lines.append(
+            "fault totals: "
+            + ", ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
+        )
     return "\n".join(lines)
 
 

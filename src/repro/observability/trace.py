@@ -65,7 +65,10 @@ class TraceEvent:
         * ``"truncate"`` — a cap-aware truncation decision (multi-hop only);
         * ``"cap"`` — the safety-cap finalisation of a run that never
           terminated on its own;
-        * ``"span"`` — a named wall-clock span (runner-stage profiling).
+        * ``"span"`` — a named wall-clock span (runner-stage profiling);
+        * ``"fault"`` — one fault-handling decision by the trial runner
+          (retry / timeout / worker-death / quarantine / cache-disabled /
+          pool-degraded; see ``repro.experiments.faults.FaultEvent``).
     round_index:
         Protocol round the event belongs to; ``-1`` for run-level events.
     phase:

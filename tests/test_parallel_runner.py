@@ -16,6 +16,7 @@ import pytest
 
 from repro.experiments import ExperimentSettings, run_experiment
 from repro.experiments.cache import CACHE_VERSION, TrialCache, stable_token, trial_key
+from repro.experiments.faults import FaultPolicy, QuarantineError, TrialFailure
 from repro.experiments.registry import experiment_ids
 from repro.experiments.runner import EXECUTION_STATS, TrialSpec, run_point, run_sweep
 from repro.simulation.errors import ConfigurationError
@@ -32,6 +33,9 @@ def _no_runner_env(monkeypatch):
 
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_TRIAL_TIMEOUT_S", raising=False)
+    monkeypatch.delenv("REPRO_TRIAL_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_STRICT_FAULTS", raising=False)
 
 
 def _toy_trial(seed: int, scale: float = 1.0) -> dict:
@@ -164,17 +168,29 @@ class TestRunSweep:
         assert after_warm.executed == 0
         assert after_warm.cache_hits == settings.trials
 
-    def test_interrupted_sweep_keeps_completed_trials(self, tmp_path):
-        # Records are written to the store as they complete, so a sweep that
-        # dies partway can be resumed without recomputing the finished part.
+    def test_failing_sweep_quarantines_and_keeps_completed_trials(self, tmp_path):
+        # Records are written to the store as they complete, and a trial that
+        # keeps failing is quarantined into a TrialFailure sentinel instead of
+        # killing the sweep — the finished trials stay cached either way, so a
+        # re-run resumes without recomputing the healthy part.
         settings = ExperimentSettings(n=16, trials=1, seed=2, jobs=1, cache_dir=str(tmp_path))
+        policy = FaultPolicy(max_retries=1, backoff_base_s=0.0)
         specs = [
             TrialSpec.point(_exploding_trial, "a", boom=False),
             TrialSpec.point(_exploding_trial, "b", boom=False),
             TrialSpec.point(_exploding_trial, "c", boom=True),
         ]
-        with pytest.raises(RuntimeError, match="interruption"):
-            run_sweep(specs, settings)
+        results = run_sweep(specs, settings, policy=policy)
+        (failure,) = results[2]
+        assert isinstance(failure, TrialFailure)
+        assert failure.error_type == "RuntimeError"
+        assert "interruption" in failure.error_message
+        assert failure.attempts == policy.max_retries + 1
+
+        # Strict mode turns the same quarantine into a raised error.
+        strict = FaultPolicy(max_retries=0, backoff_base_s=0.0, strict=True)
+        with pytest.raises(QuarantineError, match="interruption"):
+            run_sweep(specs, settings, policy=strict)
 
         before = EXECUTION_STATS.snapshot()
         resumed = run_sweep(specs[:2], settings)

@@ -34,6 +34,7 @@ from datetime import date
 from contextlib import nullcontext
 
 from repro.experiments import ExperimentSettings, render_result, render_table
+from repro.experiments.faults import fault_scope, quarantine_note
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.experiments.runner import progress_scope, track_stats
 from repro.observability import CliProgressRenderer
@@ -265,37 +266,55 @@ def main() -> None:
 
     results = []
     profile_rows = []
-    for eid in experiment_ids():
-        # Per-experiment counters are scoped, not derived from the process
-        # global: registry experiments may themselves run nested sweeps, and
-        # snapshot arithmetic against the mutable global cross-contaminated
-        # back-to-back experiments in one process.
-        renderer = CliProgressRenderer(label=eid) if args.progress else None
-        follower = progress_scope(renderer) if renderer is not None else nullcontext()
-        start = time.perf_counter()
-        with follower:
-            with track_stats() as stats:
-                result = run_experiment(eid, settings)
-        elapsed = time.perf_counter() - start
-        if renderer is not None:
-            renderer.finish()
-        results.append(result)
-        trials_total = stats.executed + stats.cache_hits
-        profile_rows.append(
-            {
-                "experiment": eid,
-                "seconds": elapsed,
-                "trials_executed": stats.executed,
-                "cache_hits": stats.cache_hits,
-                "trials_per_sec": trials_total / elapsed if elapsed > 0 else 0.0,
-                "hit_rate": stats.cache_hits / trials_total if trials_total else 0.0,
-            }
-        )
+    fault_notes = []
+    all_ids = experiment_ids()
+    try:
+        for eid in all_ids:
+            # Per-experiment counters are scoped, not derived from the process
+            # global: registry experiments may themselves run nested sweeps, and
+            # snapshot arithmetic against the mutable global cross-contaminated
+            # back-to-back experiments in one process.
+            renderer = CliProgressRenderer(label=eid) if args.progress else None
+            follower = progress_scope(renderer) if renderer is not None else nullcontext()
+            start = time.perf_counter()
+            with follower:
+                with track_stats() as stats, fault_scope() as faults:
+                    result = run_experiment(eid, settings)
+            elapsed = time.perf_counter() - start
+            if renderer is not None:
+                renderer.finish()
+            results.append(result)
+            note = quarantine_note(faults)
+            if note is not None:
+                fault_notes.append((eid, note))
+            trials_total = stats.executed + stats.cache_hits
+            profile_rows.append(
+                {
+                    "experiment": eid,
+                    "seconds": elapsed,
+                    "trials_executed": stats.executed,
+                    "cache_hits": stats.cache_hits,
+                    "trials_per_sec": trials_total / elapsed if elapsed > 0 else 0.0,
+                    "hit_rate": stats.cache_hits / trials_total if trials_total else 0.0,
+                }
+            )
+            print(
+                f"{eid}: {elapsed:.2f}s ({stats.executed} trials executed, "
+                f"{stats.cache_hits} cache hits)",
+                file=sys.stderr,
+            )
+    except KeyboardInterrupt:
+        # run_sweep has already torn its pool down and flushed every finished
+        # trial to the cache; report where generation stopped and exit with
+        # the conventional SIGINT status instead of a traceback.
+        done = [str(row["experiment"]) for row in profile_rows]
         print(
-            f"{eid}: {elapsed:.2f}s ({stats.executed} trials executed, "
-            f"{stats.cache_hits} cache hits)",
+            f"generation interrupted: {len(done)}/{len(all_ids)} experiments "
+            f"complete ({', '.join(done) if done else 'none'}); finished trials "
+            "are in the trial cache — rerun to resume warm",
             file=sys.stderr,
         )
+        sys.exit(130)
 
     lines = [PREAMBLE]
     lines.append(
@@ -340,6 +359,19 @@ def main() -> None:
         )
     )
     lines.append("```\n")
+
+    # Quarantined trials (lenient fault policy) are surfaced explicitly rather
+    # than silently thinning the aggregates; with no failures this section is
+    # absent and the document stays byte-identical to a fault-free run.
+    if fault_notes:
+        lines.append("### Fault report\n")
+        lines.append(
+            "Trials quarantined by the fault policy during this generation; the "
+            "affected sweep points aggregate their surviving trials only.\n"
+        )
+        for eid, note in fault_notes:
+            lines.append(f"* {eid}: {note}")
+        lines.append("")
 
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines))

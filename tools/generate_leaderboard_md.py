@@ -141,9 +141,19 @@ def main() -> None:
     renderer = CliProgressRenderer(label="tournament") if args.progress else None
     follower = progress_scope(renderer) if renderer is not None else nullcontext()
     start = time.perf_counter()
-    with follower:
-        with track_stats() as stats:
-            tournament = run_tournament(settings, cells=tournament_cells())
+    try:
+        with follower:
+            with track_stats() as stats:
+                tournament = run_tournament(settings, cells=tournament_cells())
+    except KeyboardInterrupt:
+        # run_sweep has already shut its pool down and printed the trial-level
+        # partial-progress line; add the stage context and exit 130.
+        print(
+            "leaderboard generation interrupted during the tournament grid; "
+            "finished trials are in the trial cache — rerun to resume warm",
+            file=sys.stderr,
+        )
+        sys.exit(130)
     if renderer is not None:
         renderer.finish()
     print(
@@ -217,9 +227,18 @@ def main() -> None:
         renderer = CliProgressRenderer(label="search") if args.progress else None
         follower = progress_scope(renderer) if renderer is not None else nullcontext()
         start = time.perf_counter()
-        with follower:
-            with track_stats() as stats:
-                searches = [optimise_cell(cell, settings) for cell in SEARCH_CELLS]
+        try:
+            with follower:
+                with track_stats() as stats:
+                    searches = [optimise_cell(cell, settings) for cell in SEARCH_CELLS]
+        except KeyboardInterrupt:
+            print(
+                "leaderboard generation interrupted during the worst-case search "
+                "(the tournament grid had completed); finished trials are in the "
+                "trial cache — rerun to resume warm",
+                file=sys.stderr,
+            )
+            sys.exit(130)
         if renderer is not None:
             renderer.finish()
         print(

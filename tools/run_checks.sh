@@ -37,9 +37,12 @@ run_step() {
 }
 
 # The test suite must behave identically everywhere, so the runner's env
-# knobs (REPRO_JOBS / REPRO_CACHE_DIR — which CI sets for the benchmark
-# smokes below) are stripped here: tests choose jobs/cache explicitly.
-run_step "tier-1 test suite" env -u REPRO_JOBS -u REPRO_CACHE_DIR python -m pytest -x -q
+# knobs (REPRO_JOBS / REPRO_CACHE_DIR / REPRO_TRIAL_* — which CI sets for the
+# benchmark smokes below) are stripped here: tests choose jobs/cache/fault
+# policy explicitly.
+run_step "tier-1 test suite" env -u REPRO_JOBS -u REPRO_CACHE_DIR \
+    -u REPRO_TRIAL_TIMEOUT_S -u REPRO_TRIAL_RETRIES -u REPRO_STRICT_FAULTS \
+    python -m pytest -x -q
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
@@ -62,6 +65,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
 
     run_step "trace-overhead benchmark smoke (null-recorder neutrality)" \
         python benchmarks/bench_trace_overhead.py --smoke
+
+    run_step "fault-tolerance benchmark smoke (chaos-injected sweep bit-identity)" \
+        python benchmarks/bench_fault_tolerance.py --smoke
 fi
 
 run_step "docs code snippets" python tools/run_doc_snippets.py README.md docs/architecture.md
