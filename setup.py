@@ -1,11 +1,25 @@
 """Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` also works in offline environments whose setuptools/pip
+Kept explicit (rather than delegating to pyproject metadata) so that
+``pip install -e .`` works in offline environments whose setuptools/pip
 combination lacks PEP 660 editable-install support (it falls back to the
 legacy ``setup.py develop`` code path).
+
+The ``py.typed`` marker ships with the package so downstream type-checkers
+(PEP 561) consume the annotations the mypy gate in ``setup.cfg`` enforces.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gilberty12",
+    description=(
+        "Reproduction of Gilbert & Young, '(Near) Optimal Resource-Competitive "
+        "Broadcast with Jamming' (PODC 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

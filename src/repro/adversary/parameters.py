@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from numbers import Integral, Real
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..simulation.errors import ConfigurationError
 
@@ -88,7 +88,9 @@ class ParamSpec:
             return False
         return True
 
-    def grid(self, points: int, low: float = None, high: float = None) -> Tuple[float, ...]:
+    def grid(
+        self, points: int, low: Optional[float] = None, high: Optional[float] = None
+    ) -> Tuple[float, ...]:
         """``points`` evenly spaced in-bounds values over ``[low, high]``.
 
         The optional sub-interval is clipped to the spec bounds; integer

@@ -18,7 +18,7 @@ recovers exactly the single-hop termination behaviour on a clique.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -131,7 +131,7 @@ class EpsilonBroadcast:
     # Construction hooks (overridden by protocol variants)                #
     # ------------------------------------------------------------------ #
 
-    def _resolve_engine(self, engine: EngineSpec):
+    def _resolve_engine(self, engine: EngineSpec) -> Union[SlotEngine, PhaseEngine]:
         if isinstance(engine, (SlotEngine, PhaseEngine)):
             return engine
         if engine == "fast":
@@ -254,7 +254,7 @@ class EpsilonBroadcast:
     def _build_round_phases(self, round_index: int) -> List[PhasePlan]:
         return self.schedule.round_phases(round_index)
 
-    def _iter_round_phases(self, round_index: int, state: ProtocolState):
+    def _iter_round_phases(self, round_index: int, state: ProtocolState) -> Iterator[PhasePlan]:
         """Yield the phase plans of round ``i`` in execution order.
 
         The base protocol's schedule is static, so this simply walks the
@@ -535,11 +535,11 @@ class MultiHopBroadcast(EpsilonBroadcast):
 
     def __init__(
         self,
-        *args,
+        *args: object,
         quiet_rule: Optional[QuietRule | str] = None,
         max_quiet_retries: Optional[int] = None,
         pipeline: bool = True,
-        **kwargs,
+        **kwargs: object,
     ) -> None:
         self.quiet_rule = resolve_quiet_rule(quiet_rule, max_quiet_retries)
         self.max_quiet_retries = max_quiet_retries
@@ -559,7 +559,7 @@ class MultiHopBroadcast(EpsilonBroadcast):
         data["quiet_rule"] = type(self.quiet_rule).__name__
         return data
 
-    def _iter_round_phases(self, round_index: int, state: ProtocolState):
+    def _iter_round_phases(self, round_index: int, state: ProtocolState) -> Iterator[PhasePlan]:
         """The multi-hop round schedule, extended while frontiers are in flight.
 
         Yields the static schedule (inform, propagation steps ``1..k-1``,

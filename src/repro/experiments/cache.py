@@ -269,6 +269,7 @@ class TrialCache:
 
         doomed = []
         if max_age_days is not None:
+            # repro-lint: disable=R1 -- age-based pruning is wall-clock store policy; it never feeds a trial result or seed
             horizon = time.time() - max_age_days * 86400.0
             doomed = [entry for entry in entries if entry[0] < horizon]
             entries = [entry for entry in entries if entry[0] >= horizon]

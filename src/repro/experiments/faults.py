@@ -45,9 +45,12 @@ import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from numbers import Integral, Real
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from ..observability.trace import TraceEvent
+
+if TYPE_CHECKING:  # runtime import stays lazy: cache imports faults
+    from .cache import TrialCache
 from ..simulation.errors import ConfigurationError
 
 __all__ = [
@@ -398,7 +401,7 @@ class FaultInjector:
         if self.plans_hang(labels, trial_index, attempt):
             time.sleep(float(self.hang_s))
 
-    def corrupt_entry(self, cache, key: str) -> None:
+    def corrupt_entry(self, cache: TrialCache, key: str) -> None:
         """Tear a just-written cache entry: keep a seed-derived strict prefix."""
 
         path = cache.path_for(key)

@@ -332,7 +332,9 @@ class _Chunk:
     deadline: float = 0.0  # monotonic dispatch deadline (0 = no watchdog)
 
 
-def _run_chunk(items: List[Tuple], injector: Optional[FaultInjector]):
+def _run_chunk(
+    items: List[Tuple], injector: Optional[FaultInjector]
+) -> List[Tuple[object, ...]]:
     """Execute one batch of work units inside a worker; the pool's task target.
 
     Returns one outcome per item, aligned by position: ``("ok", record)`` or

@@ -1,0 +1,61 @@
+"""``repro.lint`` — an AST-based determinism & invariant linter.
+
+Every load-bearing guarantee this reproduction makes — parallel sweeps
+bit-identical to serial, retries consuming no RNG, traced runs identical to
+untraced, byte-identical generated documents, process-stable trajectories —
+ultimately reduces to a handful of *source-level* invariants: seeds are pure
+functions of ``(labels, trial)``, nothing reads ambient entropy, nothing
+orders records by a process-salted hash, every telemetry emit is guarded.
+This package encodes those invariants as machine-checked rules over Python's
+``ast`` so they are enforced at diff time instead of discovered by a flaky
+golden test three PRs later.
+
+The public surface:
+
+* :func:`lint_source` / :func:`lint_path` / :func:`lint_paths` — run the
+  enabled rules over source text or files and return
+  :class:`~repro.lint.framework.Violation` records.
+* :class:`~repro.lint.framework.LintConfig` — rule selection and per-rule
+  path exemptions, loaded from a ``[repro-lint]`` ini block
+  (``setup.cfg`` in this repository).
+* :func:`~repro.lint.framework.register_rule` — the registry hook future
+  PRs use to add a rule in ~30 lines (subclass
+  :class:`~repro.lint.framework.LintRule`, decorate, done).
+* :func:`~repro.lint.framework.report_json` — machine-readable output for
+  CI annotation tooling.
+
+Per-line suppressions use ``# repro-lint: disable=R5 -- <reason>`` and the
+reason is mandatory: a bare ``disable`` does not suppress and is itself
+reported (rule ``SUP``), so every escape hatch in the tree documents why it
+is safe.  See the "Static analysis" section of ``docs/architecture.md`` for
+the rule catalogue and the historical bug each rule pins down.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    FileContext,
+    LintConfig,
+    LintRule,
+    Violation,
+    lint_path,
+    lint_paths,
+    lint_source,
+    register_rule,
+    registered_rules,
+    report_json,
+)
+from . import rules as _rules  # noqa: F401  - importing registers the built-in rules
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "LintRule",
+    "Violation",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "registered_rules",
+    "report_json",
+]

@@ -1,0 +1,540 @@
+"""Rule framework for the determinism linter.
+
+The moving parts, smallest first:
+
+* :class:`Violation` — one finding: rule id, location, message, and whether
+  a ``# repro-lint: disable=<rule> -- <reason>`` comment suppressed it.
+* :class:`FileContext` — the parsed file handed to every rule: source,
+  physical lines, and an import-alias resolver so rules can match calls by
+  *canonical* dotted name (``np.random.seed`` and
+  ``from numpy import random; random.seed`` both resolve to
+  ``numpy.random.seed``).
+* :class:`LintRule` — an ``ast.NodeVisitor`` with class/function stacks
+  maintained for free.  A new rule subclasses it, sets ``rule_id`` /
+  ``title`` / ``rationale``, implements ``visit_*`` hooks that call
+  :meth:`LintRule.report`, and registers itself with :func:`register_rule`
+  — about 30 lines all in.
+* :class:`LintConfig` — enabled-rule selection plus per-rule path
+  exemptions, parsed from a ``[repro-lint]`` / ``[repro-lint.exempt]`` ini
+  block (this repo keeps it in ``setup.cfg``).
+* :func:`lint_source` / :func:`lint_path` / :func:`lint_paths` — the
+  engine: parse once, run every enabled rule, then fold in suppression
+  comments (tokenize-based, so strings that merely *mention* the marker are
+  ignored).
+
+Suppressions are deliberately strict: the reason after ``--`` is mandatory.
+A bare ``disable`` both fails to suppress and is reported under the ``SUP``
+pseudo-rule, so the tree cannot accumulate unexplained escape hatches.
+"""
+
+from __future__ import annotations
+
+import ast
+import configparser
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "LintRule",
+    "Violation",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "registered_rules",
+    "report_json",
+]
+
+#: Pseudo-rule ids emitted by the framework itself (not registered visitors).
+SUPPRESSION_RULE = "SUP"
+PARSE_RULE = "PARSE"
+
+_RULE_ID_RE = re.compile(r"^[A-Z][A-Z0-9]{0,15}$")
+_DISABLE_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One linter finding, suppressed or not."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def format(self) -> str:
+        """The canonical one-line human rendering."""
+
+        tag = " (suppressed: {})".format(self.reason) if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+
+class FileContext:
+    """Everything a rule may need about the file under lint."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.aliases = _collect_import_aliases(tree)
+
+    def dotted_name(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain, or None.
+
+        The chain's root is resolved through the file's import aliases, so
+        ``np.random.seed`` yields ``numpy.random.seed`` and a bare ``time``
+        imported via ``from time import time`` yields ``time.time``.  Chains
+        not rooted at a plain name (calls, subscripts) resolve to None.
+        """
+
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.aliases.get(cursor.id, cursor.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map in-scope names to the dotted origin they were imported as."""
+
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                bound = item.asname or item.name.split(".")[0]
+                aliases[bound] = item.name if item.asname else item.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay project-local
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname or item.name
+                aliases[bound] = f"{node.module}.{item.name}"
+    return aliases
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set the three class attributes, implement ``visit_*``
+    methods, and call :meth:`report`.  Class and function nesting stacks
+    are maintained by the base class; to hook class/function definitions a
+    rule overrides :meth:`handle_class` / :meth:`handle_function` instead
+    of ``visit_ClassDef`` / ``visit_FunctionDef`` (the base visitors manage
+    the stacks and recursion).
+    """
+
+    #: Short stable id, e.g. ``"R3"``.  Uppercase alphanumeric.
+    rule_id: ClassVar[str] = ""
+    #: One-line human title shown by ``--list-rules``.
+    title: ClassVar[str] = ""
+    #: The invariant this rule protects and the past bug motivating it.
+    rationale: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+        self.class_stack: List[ast.ClassDef] = []
+        self.function_stack: List[ast.AST] = []
+
+    # -- stack management ------------------------------------------------ #
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.handle_class(node)
+        self.class_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.handle_function(node)
+        self.function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.function_stack.pop()
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        """Hook called on every class definition (before descending)."""
+
+    def handle_function(self, node: ast.AST) -> None:
+        """Hook called on every function definition (before descending)."""
+
+    # -- conveniences ---------------------------------------------------- #
+
+    @property
+    def current_function_name(self) -> Optional[str]:
+        if not self.function_stack:
+            return None
+        return getattr(self.function_stack[-1], "name", None)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=self.rule_id,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def run(self) -> List[Violation]:
+        self.visit(self.ctx.tree)
+        return self.violations
+
+
+# ---------------------------------------------------------------------- #
+# Registry                                                                #
+# ---------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a :class:`LintRule` to the global registry.
+
+    Rule ids must be unique and match ``[A-Z][A-Z0-9]*``; the framework's
+    pseudo-ids (``SUP``, ``PARSE``) are reserved.
+    """
+
+    rule_id = cls.rule_id
+    if not _RULE_ID_RE.match(rule_id or ""):
+        raise ValueError(f"invalid rule id {rule_id!r} on {cls.__name__}")
+    if rule_id in (SUPPRESSION_RULE, PARSE_RULE):
+        raise ValueError(f"rule id {rule_id!r} is reserved by the framework")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not cls:
+        raise ValueError(
+            f"duplicate rule id {rule_id!r}: {cls.__name__} vs {_REGISTRY[rule_id].__name__}"
+        )
+    if not cls.title:
+        raise ValueError(f"rule {rule_id} needs a title")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[LintRule]]:
+    """The registered rules, keyed and ordered by rule id."""
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------------- #
+# Configuration                                                           #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection and per-rule path exemptions.
+
+    ``select`` of None means "every registered rule".  ``exempt`` maps a
+    rule id to path globs for which the rule is silenced wholesale — the
+    escape hatch for modules whose *job* is the banned behaviour (the
+    observability clock shim may read the clock).  ``exclude`` drops whole
+    files from linting.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    exempt: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    exclude: Tuple[str, ...] = ()
+
+    @staticmethod
+    def from_ini(path: Path) -> "LintConfig":
+        """Parse ``[repro-lint]`` / ``[repro-lint.exempt]`` from an ini file."""
+
+        parser = configparser.ConfigParser()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                parser.read_file(handle)
+        except (OSError, configparser.Error) as exc:
+            raise ValueError(f"cannot read lint config {path}: {exc}") from None
+        select: Optional[FrozenSet[str]] = None
+        exclude: Tuple[str, ...] = ()
+        if parser.has_section("repro-lint"):
+            raw_select = parser.get("repro-lint", "select", fallback="").split()
+            if raw_select:
+                select = frozenset(raw_select)
+            exclude = tuple(parser.get("repro-lint", "exclude", fallback="").split())
+        exempt: Dict[str, Tuple[str, ...]] = {}
+        if parser.has_section("repro-lint.exempt"):
+            for rule_id, raw in parser.items("repro-lint.exempt"):
+                exempt[rule_id.upper()] = tuple(raw.split())
+        return LintConfig(select=select, exempt=exempt, exclude=exclude)
+
+    @staticmethod
+    def discover(start: Path) -> "LintConfig":
+        """Walk up from ``start`` looking for a ``setup.cfg``/``repro-lint.ini``.
+
+        Returns the default (everything enabled, nothing exempt) when no
+        config block is found — the linter must be usable on a bare tree.
+        """
+
+        cursor = start.resolve()
+        if cursor.is_file():
+            cursor = cursor.parent
+        for directory in [cursor, *cursor.parents]:
+            for name in ("setup.cfg", "repro-lint.ini"):
+                candidate = directory / name
+                if candidate.is_file():
+                    try:
+                        config = LintConfig.from_ini(candidate)
+                    except ValueError:
+                        continue
+                    if config != LintConfig():
+                        return config
+        return LintConfig()
+
+    def enabled_rules(self) -> Dict[str, Type[LintRule]]:
+        rules = registered_rules()
+        if self.select is None:
+            return rules
+        return {rid: cls for rid, cls in rules.items() if rid in self.select}
+
+    def is_exempt(self, rule_id: str, path: str) -> bool:
+        return any(_path_matches(path, glob) for glob in self.exempt.get(rule_id, ()))
+
+    def is_excluded(self, path: str) -> bool:
+        return any(_path_matches(path, glob) for glob in self.exclude)
+
+
+def _path_matches(path: str, glob: str) -> bool:
+    """Suffix-tolerant glob match, so configs work from any invocation dir."""
+
+    posix = Path(path).as_posix()
+    glob = glob.strip()
+    if not glob:
+        return False
+    return fnmatch.fnmatch(posix, glob) or fnmatch.fnmatch(posix, "*/" + glob)
+
+
+# ---------------------------------------------------------------------- #
+# Suppression comments                                                    #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    col: int
+    rules: FrozenSet[str]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "all" in self.rules or rule_id in self.rules
+
+
+def _parse_suppressions(source: str, path: str) -> Tuple[Dict[int, _Suppression], List[Violation]]:
+    """Extract ``# repro-lint: disable=...`` comments (comments only).
+
+    Returns the line-indexed suppression table plus one ``SUP`` violation
+    per reasonless disable — those comments suppress nothing.
+    """
+
+    table: Dict[int, _Suppression] = {}
+    bad: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return table, bad
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(token.string)
+        if match is None:
+            continue
+        line, col = token.start
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            bad.append(
+                Violation(
+                    rule=SUPPRESSION_RULE,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        "suppression without a reason: write "
+                        "'# repro-lint: disable=<rule> -- <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        table[line] = _Suppression(line=line, col=col, rules=rules, reason=reason)
+    return table, bad
+
+
+def _apply_suppressions(
+    violations: List[Violation], table: Dict[int, _Suppression]
+) -> List[Violation]:
+    """Mark violations covered by a same-line or preceding-line disable."""
+
+    out: List[Violation] = []
+    for violation in violations:
+        hit: Optional[_Suppression] = None
+        for line in (violation.line, violation.line - 1):
+            candidate = table.get(line)
+            if candidate is not None and candidate.covers(violation.rule):
+                hit = candidate
+                break
+        if hit is None:
+            out.append(violation)
+        else:
+            out.append(replace(violation, suppressed=True, reason=hit.reason))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Engine                                                                  #
+# ---------------------------------------------------------------------- #
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[LintRule]]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns violations sorted by position.
+
+    Suppressed violations are *included* (with ``suppressed=True``) so
+    reports and the JSON output can audit every escape hatch; callers
+    gate on the unsuppressed subset.
+    """
+
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule=PARSE_RULE,
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    selected: Iterable[Type[LintRule]]
+    if rules is not None:
+        selected = rules
+    else:
+        selected = config.enabled_rules().values()
+    found: List[Violation] = []
+    for rule_cls in selected:
+        if config.is_exempt(rule_cls.rule_id, path):
+            continue
+        found.extend(rule_cls(ctx).run())
+    table, reasonless = _parse_suppressions(source, path)
+    found = _apply_suppressions(found, table)
+    found.extend(reasonless)
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return found
+
+
+def lint_path(path: Path, config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint one file (non-Python paths return no violations)."""
+
+    config = config or LintConfig()
+    posix = Path(path).as_posix()
+    if not posix.endswith(".py") or config.is_excluded(posix):
+        return []
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=posix, config=config)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` in sorted, deterministic order."""
+
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path], config: Optional[LintConfig] = None
+) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns (violations, files_checked)."""
+
+    config = config or LintConfig()
+    violations: List[Violation] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        if config.is_excluded(file_path.as_posix()):
+            continue
+        violations.extend(lint_path(file_path, config))
+        checked += 1
+    return violations, checked
+
+
+def report_json(violations: Sequence[Violation], files_checked: int) -> Dict[str, object]:
+    """The machine-readable report shape (stable: version bumps on change)."""
+
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        if not violation.suppressed:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return {
+        "version": 1,
+        "files_checked": files_checked,
+        "unsuppressed": sum(counts.values()),
+        "suppressed": sum(1 for v in violations if v.suppressed),
+        "counts": dict(sorted(counts.items())),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+                "suppressed": v.suppressed,
+                "reason": v.reason,
+            }
+            for v in violations
+        ],
+    }

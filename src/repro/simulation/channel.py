@@ -112,6 +112,7 @@ class JamTargeting:
         cached = getattr(self, "_nodes_sorted", None)
         if cached is None:
             cached = np.sort(np.fromiter(self.nodes, dtype=np.int64, count=len(self.nodes)))
+            # repro-lint: disable=R7 -- lazy cache of a pure function of the frozen `nodes` field; recomputation yields the identical array
             object.__setattr__(self, "_nodes_sorted", cached)
         return cached
 
@@ -207,7 +208,10 @@ class Channel:
 
         count = len(transmissions)
         observations: Dict[int, Observation] = {}
-        for listener in listener_set:
+        # Sorted so the observation mapping's insertion order depends on the
+        # listener cohort's contents, never on set hash layout — the engines
+        # iterate this mapping while mutating shared per-phase state.
+        for listener in sorted(listener_set):
             jammed = jam.affects(listener)
             if spatial:
                 # The neighbour set is memoised on the topology (dense row

@@ -118,7 +118,10 @@ class SlotEngine:
         reactive_jams_remaining = jam_plan.num_jam_slots if reactive else 0
 
         newly_informed: Set[int] = set()
-        node_noisy: Dict[int, int] = {u: 0 for u in active_uninformed}
+        # Sorted so the mapping's insertion order (observable through
+        # PhaseResult.node_noisy_heard and any trace that serialises it) is a
+        # function of the cohort's *contents*, not the set's hash layout.
+        node_noisy: Dict[int, int] = {u: 0 for u in sorted(active_uninformed)}
         alice_noisy = 0
         alice_send_slots = 0
         alice_listen_slots = 0

@@ -20,11 +20,14 @@ so "bursty at 40%" and "reactive disk at 40%" are directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.competitiveness import ExponentFit, fit_cell_exponent
+
+if TYPE_CHECKING:  # runtime import stays lazy: experiments imports tournament
+    from ..experiments.harness import ExperimentSettings
 from ..simulation.config import SimulationConfig
 from .roster import (
     adversary_roster,
@@ -134,7 +137,7 @@ class TournamentResult:
         return None
 
 
-def _rank_key(result: CellResult):
+def _rank_key(result: CellResult) -> Tuple[float, float, str]:
     fit = result.node_fit
     exponent = fit.exponent if fit.ok else float("-inf")
     # Flagged ties fall back to raw damage so "worst observed" is still
@@ -203,7 +206,7 @@ def tournament_trial(
 
 
 def run_tournament(
-    settings,
+    settings: ExperimentSettings,
     *,
     cells: Optional[Sequence[TournamentCell]] = None,
     spend_fractions: Sequence[float] = SPEND_FRACTIONS,
@@ -268,7 +271,9 @@ def run_tournament(
     return TournamentResult(cells=tuple(results))
 
 
-def _frozen_params(params) -> Tuple[Tuple[str, float], ...]:
+def _frozen_params(
+    params: Optional[Mapping[str, float]]
+) -> Tuple[Tuple[str, float], ...]:
     """Overrides as a sorted tuple of pairs: picklable, cache-tokenisable."""
 
     if not params:

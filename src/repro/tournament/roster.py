@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..adversary import (
     Adversary,
@@ -35,8 +35,10 @@ from ..adversary import (
     WaypointPatrol,
 )
 from ..baselines import BalancedBackoffBroadcast, KSYStyleBroadcast, NaiveBroadcast
-from ..core.broadcast import EpsilonBroadcast, MultiHopBroadcast
+from ..baselines.base import EpochBaseline
+from ..core.broadcast import EngineSpec, EpsilonBroadcast, MultiHopBroadcast
 from ..core.quietrule import ConstantQuietRule
+from ..simulation.config import SimulationConfig
 from ..simulation.errors import ConfigurationError
 from ..simulation.phaseplan import PhaseKind
 from ..simulation.topology import TopologySpec, gilbert_connectivity_radius
@@ -163,40 +165,61 @@ def build_adversary(
 # --------------------------------------------------------------------- #
 
 
+#: Any runnable protocol object the tournament can drive: the paper
+#: protocol family or one of the epoch baselines (same duck-typed surface:
+#: ``run()`` + ``final_state``).
+ProtocolVariant = Union[EpsilonBroadcast, EpochBaseline]
+ProtocolBuilder = Callable[[SimulationConfig, Adversary, EngineSpec], ProtocolVariant]
+
+
 @dataclass(frozen=True)
 class ProtocolEntry:
     """One protocol variant: a builder plus the topology kinds it runs on."""
 
     name: str
-    builder: Callable
+    builder: ProtocolBuilder
     topology_kinds: Tuple[str, ...]
     description: str = ""
 
-    def build(self, config, adversary, engine):
+    def build(
+        self, config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+    ) -> ProtocolVariant:
         return self.builder(config, adversary, engine)
 
 
-def _build_eps(config, adversary, engine):
+def _build_eps(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> EpsilonBroadcast:
     return EpsilonBroadcast(config, adversary=adversary, engine=engine)
 
 
-def _build_naive(config, adversary, engine):
+def _build_naive(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> NaiveBroadcast:
     return NaiveBroadcast(config, adversary=adversary, engine=engine)
 
 
-def _build_ksy(config, adversary, engine):
+def _build_ksy(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> KSYStyleBroadcast:
     return KSYStyleBroadcast(config, adversary=adversary, engine=engine)
 
 
-def _build_backoff(config, adversary, engine):
+def _build_backoff(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> BalancedBackoffBroadcast:
     return BalancedBackoffBroadcast(config, adversary=adversary, engine=engine)
 
 
-def _build_mh_paper(config, adversary, engine):
+def _build_mh_paper(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> MultiHopBroadcast:
     return MultiHopBroadcast(config, adversary=adversary, engine=engine, quiet_rule="paper")
 
 
-def _build_mh_constant(config, adversary, engine):
+def _build_mh_constant(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> MultiHopBroadcast:
     return MultiHopBroadcast(
         config,
         adversary=adversary,
@@ -205,11 +228,15 @@ def _build_mh_constant(config, adversary, engine):
     )
 
 
-def _build_mh_degree_aware(config, adversary, engine):
+def _build_mh_degree_aware(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> MultiHopBroadcast:
     return MultiHopBroadcast(config, adversary=adversary, engine=engine)
 
 
-def _build_mh_sequential(config, adversary, engine):
+def _build_mh_sequential(
+    config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> MultiHopBroadcast:
     return MultiHopBroadcast(config, adversary=adversary, engine=engine, pipeline=False)
 
 
@@ -241,7 +268,9 @@ def protocol_roster() -> Dict[str, ProtocolEntry]:
     return {entry.name: entry for entry in entries}
 
 
-def build_protocol(name: str, config, adversary, engine):
+def build_protocol(
+    name: str, config: SimulationConfig, adversary: Adversary, engine: EngineSpec
+) -> ProtocolVariant:
     roster = protocol_roster()
     if name not in roster:
         raise ConfigurationError(

@@ -123,3 +123,29 @@ class TestObservationSemantics:
     def test_silent_is_not_noisy(self, channel):
         resolution = channel.resolve_slot([], {1}, JamTargeting.none())
         assert not resolution.observations[1].is_noisy
+
+
+class TestDeterministicObservationOrder:
+    """Pinned regression for the sorted listener loop in ``resolve_slot``.
+
+    The observations mapping's insertion order is observable to every
+    consumer that iterates it (engines, traces).  Before the fix the loop
+    ran over the raw listener set, so the order tracked hash-table layout:
+    ``{1, 8}`` iterates ``[8, 1]`` because 8 hashes into slot 0.
+    """
+
+    def test_observations_insert_in_sorted_listener_order(self, channel):
+        listeners = {1, 8}
+        # Precondition: raw set order genuinely differs from sorted order,
+        # otherwise this test could not distinguish the fix from the bug.
+        assert list(listeners) != sorted(listeners)
+        resolution = channel.resolve_slot([], listeners, JamTargeting.none())
+        assert list(resolution.observations) == sorted(listeners)
+
+    def test_order_holds_with_traffic_and_jamming(self, channel):
+        listeners = {1, 8, 2}
+        assert list(listeners) != sorted(listeners)
+        resolution = channel.resolve_slot(
+            [make_nack(5)], listeners, JamTargeting.only({2}), senders=[5]
+        )
+        assert list(resolution.observations) == sorted(listeners)

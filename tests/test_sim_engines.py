@@ -227,3 +227,23 @@ class TestResultBookkeeping:
         jam = JamPlan(num_jam_slots=50, targeting=JamTargeting.everyone())
         result = engine.run_phase(plan, PhaseRoles.of(range(network.n)), jam)
         assert result.jammed_fraction == pytest.approx(0.5)
+
+
+class TestDeterministicResultOrdering:
+    """Pinned regression for the sorted ``node_noisy`` cohort iteration.
+
+    ``PhaseResult.node_noisy_heard`` is a dict whose insertion order leaks
+    into every trace or record that serialises it.  Before the fix the slot
+    engine seeded it from the raw uninformed *set*, so the order tracked
+    hash-table layout: ``{1, 8}`` iterates ``[8, 1]``.
+    """
+
+    def test_node_noisy_heard_keys_follow_sorted_cohort(self, engine_factory):
+        network = make_network(n=16, seed=9)
+        engine = engine_factory(network)
+        cohort = {1, 8}
+        # Precondition: raw set order genuinely differs from sorted order.
+        assert list(cohort) != sorted(cohort)
+        plan = request_plan(num_slots=50)
+        result = engine.run_phase(plan, PhaseRoles.of(cohort), JamPlan.idle())
+        assert list(result.node_noisy_heard) == sorted(cohort)

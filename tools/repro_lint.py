@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""CLI front-end for :mod:`repro.lint` — the determinism & invariant linter.
+
+Usage::
+
+    PYTHONPATH=src python tools/repro_lint.py src/repro          # lint a tree
+    PYTHONPATH=src python tools/repro_lint.py --changed          # diff-aware
+    PYTHONPATH=src python tools/repro_lint.py --json src/repro   # machine output
+    PYTHONPATH=src python tools/repro_lint.py --list-rules       # the catalogue
+
+Exit status: 0 when every violation is suppressed (with a reason), 1 when
+unsuppressed violations remain, 2 on usage/configuration errors.  Human
+output goes to stdout one finding per line (``path:line:col: RULE message``)
+so editors and CI annotators can jump to it; ``--json`` emits the stable
+schema from :func:`repro.lint.report_json` instead.
+
+``--changed`` lints only Python files that differ from ``--base`` (default
+``main``): the merge-base diff plus staged, unstaged, and untracked files,
+intersected with the requested paths.  That keeps the gate O(diff) as the
+tree grows; CI still runs the full-tree form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import (  # noqa: E402  - path bootstrap above
+    LintConfig,
+    lint_paths,
+    registered_rules,
+    report_json,
+)
+from repro.lint.framework import iter_python_files  # noqa: E402
+
+
+def changed_files(base: str, repo_root: Path) -> Optional[Set[Path]]:
+    """Python files differing from ``base``: merge-base diff + working tree.
+
+    Returns None when git is unavailable or ``base`` cannot be resolved, in
+    which case the caller falls back to linting everything (failing open on
+    coverage, not on determinism).
+    """
+
+    def git_lines(*args: str) -> Optional[List[str]]:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+    merge_base = git_lines("merge-base", base, "HEAD")
+    if merge_base is None:
+        return None
+    listed: Set[str] = set()
+    for args in (
+        ("diff", "--name-only", merge_base[0], "HEAD"),
+        ("diff", "--name-only"),
+        ("diff", "--name-only", "--cached"),
+        ("ls-files", "--others", "--exclude-standard"),
+    ):
+        lines = git_lines(*args)
+        if lines is None:
+            return None
+        listed.update(lines)
+    return {
+        (repo_root / name).resolve()
+        for name in listed
+        if name.endswith(".py")
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs --base (merge-base diff + working tree)",
+    )
+    parser.add_argument("--base", default="main", help="diff base for --changed (default: main)")
+    parser.add_argument("--config", type=Path, default=None, help="explicit ini config path")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in registered_rules().items():
+            print(f"{rule_id}: {cls.title}")
+            print(f"    {cls.rationale}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or [REPO_ROOT / "src" / "repro"])]
+    for path in paths:
+        if not path.exists():
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    if args.config is not None:
+        try:
+            config = LintConfig.from_ini(args.config)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+    else:
+        config = LintConfig.discover(paths[0])
+
+    if args.changed:
+        changed = changed_files(args.base, REPO_ROOT)
+        if changed is None:
+            print(
+                f"repro-lint: cannot diff against {args.base!r}; linting everything",
+                file=sys.stderr,
+            )
+        else:
+            requested = list(iter_python_files(paths))
+            paths = [p for p in requested if p.resolve() in changed]
+            if not paths:
+                if args.json:
+                    print(json.dumps(report_json([], 0), indent=2))
+                else:
+                    print(f"repro-lint: no python files changed vs {args.base}; nothing to do")
+                return 0
+
+    violations, files_checked = lint_paths(paths, config)
+    unsuppressed = [v for v in violations if not v.suppressed]
+    suppressed = [v for v in violations if v.suppressed]
+
+    if args.json:
+        print(json.dumps(report_json(violations, files_checked), indent=2))
+    else:
+        for violation in unsuppressed:
+            print(violation.format())
+        summary = (
+            f"repro-lint: {files_checked} file(s), "
+            f"{len(unsuppressed)} violation(s), {len(suppressed)} suppressed"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full unit/property/integration suite, a quick-mode
+# Tier-1 verification: the full unit/property/integration suite, the
+# repro-lint determinism gate (plus mypy when installed), a quick-mode
 # benchmark smoke over a representative experiment subset, the mobile-jammer
 # benchmark smoke, and the docs code-snippet smoke (README / docs quickstarts
 # must stay runnable).
@@ -43,6 +44,22 @@ run_step() {
 run_step "tier-1 test suite" env -u REPRO_JOBS -u REPRO_CACHE_DIR \
     -u REPRO_TRIAL_TIMEOUT_S -u REPRO_TRIAL_RETRIES -u REPRO_STRICT_FAULTS \
     python -m pytest -x -q
+
+# The determinism & invariant linter (repro.lint) gates the whole library
+# tree: zero unsuppressed violations, every suppression with a reason.
+run_step "repro-lint (determinism & invariant linter)" \
+    python tools/repro_lint.py src/repro
+
+# mypy is a CI-installed dev dependency; locally it may be absent (this repo
+# pins no dev venv), so the step gates on availability rather than failing
+# a machine that cannot install it.
+if python -c "import mypy" >/dev/null 2>&1; then
+    run_step "mypy (strict-ish typing gate, config in setup.cfg)" \
+        python -m mypy --config-file setup.cfg
+else
+    echo "== mypy (strict-ish typing gate) =="
+    echo "-- mypy: SKIPPED (mypy not installed; CI runs it in the lint job)"
+fi
 
 if [[ "${1:-}" != "--no-bench" ]]; then
     REPRO_BENCH_N="${REPRO_BENCH_N:-96}" REPRO_BENCH_TRIALS="${REPRO_BENCH_TRIALS:-1}" \
